@@ -1,0 +1,132 @@
+// Command smat-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	smat-bench -experiment all [-model model.json] [-scale 0.25] [-stride 8]
+//
+// Experiments: table1, figure1, figure3, figure6, figure9, figure10,
+// table3, table4, ablation-threshold, ablation-tailoring,
+// ablation-features, ablation-scoreboard, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"smat"
+	"smat/internal/autotune"
+	"smat/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smat-bench: ")
+
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, all)")
+		modelPath  = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
+		scale      = flag.Float64("scale", 0.25, "workload size scale (0,1]")
+		stride     = flag.Int("stride", 8, "corpus sampling stride for corpus-wide experiments")
+		threads    = flag.Int("threads", 0, "platform A threads (0 = GOMAXPROCS)")
+		threadsB   = flag.Int("threads-b", 0, "platform B threads (0 = half of A)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		minTimeMS  = flag.Float64("mintime-ms", 1, "per-measurement minimum timing window (ms)")
+		trials     = flag.Int("trials", 3, "measurement trials (fastest wins)")
+		dataDir    = flag.String("data-dir", "", "write plot-ready .tsv series per experiment into this directory")
+	)
+	flag.Parse()
+
+	model := smat.HeuristicModel()
+	if *modelPath != "" {
+		m, err := smat.LoadModelFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = m
+		log.Printf("loaded model %s (%d rules, threshold %.2f)", *modelPath, len(m.Ruleset.Rules), m.ConfidenceThreshold)
+	} else {
+		log.Print("using built-in heuristic model (train one with smat-train for best accuracy)")
+	}
+
+	cfg := bench.Config{
+		Scale:    *scale,
+		Threads:  *threads,
+		ThreadsB: *threadsB,
+		Model:    model,
+		Measure: autotune.MeasureOptions{
+			MinTime: time.Duration(*minTimeMS * float64(time.Millisecond)),
+			Trials:  *trials,
+		},
+		Stride:  *stride,
+		Seed:    *seed,
+		Out:     os.Stdout,
+		DataDir: *dataDir,
+	}
+
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func() error{
+		"table1":  func() error { bench.Table1(cfg); return nil },
+		"figure1": func() error { _, err := bench.Figure1(cfg); return err },
+		"figure3": func() error { bench.Figure3(cfg); return nil },
+		"figure6": func() error { bench.Figure6(cfg); return nil },
+		"figure9": func() error { bench.Figure9(cfg); return nil },
+		"figure10": func() error {
+			bench.Figure10(cfg)
+			return nil
+		},
+		"table3": func() error { bench.Table3(cfg); return nil },
+		"table4": func() error { _, err := bench.Table4(cfg); return err },
+		"ablation-threshold": func() error {
+			bench.AblationThreshold(cfg, nil)
+			return nil
+		},
+		"ablation-tailoring": func() error { _, err := bench.AblationTailoring(cfg); return err },
+		"ablation-features":  func() error { _, err := bench.AblationFeatures(cfg); return err },
+		"ablation-scoreboard": func() error {
+			bench.AblationScoreboard(cfg)
+			return nil
+		},
+		"extensions": func() error {
+			bench.Extensions(cfg)
+			return nil
+		},
+	}
+	order := []string{
+		"table1", "figure1", "figure3", "figure6", "figure9", "figure10",
+		"table3", "table4",
+		"ablation-threshold", "ablation-tailoring", "ablation-features", "ablation-scoreboard",
+		"extensions",
+	}
+
+	switch *experiment {
+	case "all":
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+	default:
+		fn, ok := experiments[*experiment]
+		if !ok {
+			log.Fatalf("unknown experiment %q; choose one of %s or all",
+				*experiment, strings.Join(order, ", "))
+		}
+		run(*experiment, fn)
+	}
+}

@@ -1,0 +1,139 @@
+// Command smat-train runs SMAT's off-line stage: it generates the synthetic
+// matrix corpus, searches the kernel library with the scoreboard algorithm,
+// labels the training matrices by exhaustive measurement, learns the ruleset
+// model, and writes the model JSON for smat-bench / smat-spmv / smat-amg.
+//
+// Usage:
+//
+//	smat-train -out model.json [-scale 0.25] [-train-n 2055] [-threads N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"smat/internal/autotune"
+	"smat/internal/corpus"
+	"smat/internal/matrix"
+	"smat/internal/mining"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smat-train: ")
+
+	var (
+		out     = flag.String("out", "model.json", "output model path")
+		scale   = flag.Float64("scale", 0.25, "corpus matrix size scale (0,1]")
+		trainN  = flag.Int("train-n", 2055, "number of training matrices (paper: 2055)")
+		threads = flag.Int("threads", 0, "architecture thread configuration (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "corpus and split seed")
+		fast    = flag.Bool("fast", false, "fast mode: short timings, no kernel search")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		dbOut   = flag.String("db-out", "", "also write the feature database (JSON lines)")
+		dbIn    = flag.String("db-in", "", "retrain from an existing feature database, skipping all measurement")
+	)
+	flag.Parse()
+
+	if *dbIn != "" {
+		retrainFromDatabase(*dbIn, *out, *threads)
+		return
+	}
+
+	c := corpus.New(*scale, *seed)
+	train, eval := c.Split(*trainN, *seed)
+	log.Printf("corpus: %d matrices (%d train, %d eval), scale %g", len(c.Entries), len(train), len(eval), *scale)
+
+	cfg := autotune.TrainConfig{
+		Threads: *threads,
+		Seed:    *seed,
+	}
+	if *fast {
+		cfg.SkipKernelSearch = true
+		cfg.Measure = autotune.MeasureOptions{MinTime: 200 * time.Microsecond, Trials: 1}
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			if done%100 == 0 || done == total {
+				log.Printf("labeled %d/%d", done, total)
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := autotune.Train(train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("training took %s", time.Since(start).Round(time.Second))
+	for _, s := range res.Search {
+		log.Printf("kernel search %-3s: best %-26s strategy scores %v", s.Format, s.Best, s.StrategyScores)
+	}
+	log.Printf("ruleset: %d rules tailored to %d; training accuracy %.1f%%",
+		res.FullRules, res.TailoredRules, 100*res.TrainAccuracy)
+
+	// Label distribution, Table 1 style.
+	counts := map[matrix.Format]int{}
+	for _, l := range res.Labels {
+		counts[l.Best]++
+	}
+	log.Printf("training label distribution: CSR %d, COO %d, DIA %d, ELL %d",
+		counts[matrix.FormatCSR], counts[matrix.FormatCOO], counts[matrix.FormatDIA], counts[matrix.FormatELL])
+
+	if *dbOut != "" {
+		df, err := os.Create(*dbOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Database.Save(df); err != nil {
+			log.Fatal(err)
+		}
+		df.Close()
+		log.Printf("feature database (%d records) written to %s", len(res.Database.Records), *dbOut)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.Model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", *out)
+}
+
+// retrainFromDatabase relearns a model from stored records: the paper's
+// reusable-training path (no matrix is built, no kernel is run).
+func retrainFromDatabase(dbPath, outPath string, threads int) {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := autotune.LoadDatabase(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := autotune.TrainFromDatabase(db, nil, autotune.TrainConfig{Threads: threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("retrained from %d records: %d rules tailored to %d, accuracy %.1f%%",
+		len(db.Records), res.FullRules, res.TailoredRules, 100*res.TrainAccuracy)
+	if _, cv, err := mining.CrossValidate(res.Dataset, 5, mining.TreeConfig{}, 1); err == nil {
+		log.Printf("5-fold cross-validation accuracy: %.1f%%", 100*cv)
+	}
+	of, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer of.Close()
+	if err := res.Model.Save(of); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", outPath)
+}

@@ -1,0 +1,3 @@
+module smat
+
+go 1.22

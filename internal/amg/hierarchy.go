@@ -1,0 +1,205 @@
+package amg
+
+import (
+	"fmt"
+
+	"smat/internal/matrix"
+)
+
+// SpMV is the pluggable sparse matrix-vector product every solve-phase
+// multiply goes through. SMAT's tuned operator satisfies it, as does the
+// plain CSR fallback — swapping the factory is all it takes to put SMAT
+// inside AMG, mirroring how the paper replaces Hypre's SpMV calls.
+type SpMV[T matrix.Float] interface {
+	MulVec(x, y []T)
+}
+
+// OperatorFactory turns a CSR matrix into the SpMV operator the solve phase
+// will use for it.
+type OperatorFactory[T matrix.Float] func(m *matrix.CSR[T]) (SpMV[T], error)
+
+// Smoother selects the relaxation method.
+type Smoother int
+
+const (
+	// Jacobi is weighted Jacobi relaxation; each sweep is one SpMV plus
+	// vector updates, so the solve phase is SpMV-dominated (the property the
+	// paper exploits).
+	Jacobi Smoother = iota
+	// GaussSeidel is a serial forward sweep on the raw CSR structure.
+	GaussSeidel
+)
+
+// Options configures Setup.
+type Options struct {
+	// Theta is the strength threshold (default 0.25).
+	Theta float64
+	// Coarsening selects RugeStueben or CLJP.
+	Coarsening Coarsening
+	// MaxLevels bounds the hierarchy depth (default 25).
+	MaxLevels int
+	// CoarseSize is the dimension at which a level is solved directly
+	// (default 64).
+	CoarseSize int
+	// Nu1, Nu2 are pre-/post-smoothing sweeps (default 1 each).
+	Nu1, Nu2 int
+	// Omega is the Jacobi damping factor (default 2/3).
+	Omega float64
+	// PMax truncates interpolation rows to this many entries (default 4,
+	// Hypre's default; ≤ -1 disables truncation).
+	PMax int
+	// Smoother selects the relaxation (default Jacobi).
+	Smoother Smoother
+	// Gamma is the cycle index: 1 recursion per level is a V-cycle
+	// (default), 2 a W-cycle.
+	Gamma int
+	// Seed feeds CLJP's random weights.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Theta <= 0 {
+		o.Theta = 0.25
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 25
+	}
+	if o.CoarseSize <= 0 {
+		o.CoarseSize = 64
+	}
+	if o.Nu1 <= 0 {
+		o.Nu1 = 1
+	}
+	if o.Nu2 <= 0 {
+		o.Nu2 = 1
+	}
+	if o.Omega <= 0 {
+		o.Omega = 2.0 / 3.0
+	}
+	if o.PMax == 0 {
+		o.PMax = 4
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 1
+	}
+	return o
+}
+
+// Level is one grid of the hierarchy: the operator A, the transfer operators
+// P (prolongation to this level) and R (restriction from this level), and
+// the bound SpMV implementations.
+type Level[T matrix.Float] struct {
+	A    *matrix.CSR[T]
+	P    *matrix.CSR[T] // fine(this)×coarse(next); nil on the coarsest level
+	R    *matrix.CSR[T] // transpose of P
+	Diag []T            // diagonal of A (Jacobi)
+
+	aOp, pOp, rOp SpMV[T]
+
+	// Workspaces sized to this level.
+	x, b, tmp []T
+}
+
+// Hierarchy is a fully set-up AMG preconditioner/solver.
+type Hierarchy[T matrix.Float] struct {
+	Levels []*Level[T]
+	lu     *denseLU[T]
+	opts   Options
+}
+
+// csrOp is the default operator: basic CSR SpMV.
+type csrOp[T matrix.Float] struct{ m *matrix.CSR[T] }
+
+func (o csrOp[T]) MulVec(x, y []T) {
+	for i := 0; i < o.m.Rows; i++ {
+		var sum T
+		for jj := o.m.RowPtr[i]; jj < o.m.RowPtr[i+1]; jj++ {
+			sum += o.m.Vals[jj] * x[o.m.ColIdx[jj]]
+		}
+		y[i] = sum
+	}
+}
+
+// Setup builds the multigrid hierarchy from a square sparse operator:
+// strength graph → coarsening → direct interpolation → Galerkin triple
+// product per level, until the coarse-size or level limit. Operators default
+// to plain CSR; call Bind to swap in tuned SpMVs.
+func Setup[T matrix.Float](a *matrix.CSR[T], opts Options) (*Hierarchy[T], error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("amg: operator is %dx%d, want square", a.Rows, a.Cols)
+	}
+	opts = opts.withDefaults()
+	h := &Hierarchy[T]{opts: opts}
+	cur := a
+	for len(h.Levels) < opts.MaxLevels-1 && cur.Rows > opts.CoarseSize {
+		g := buildStrength(cur, opts.Theta)
+		var split []int8
+		if opts.Coarsening == CLJP {
+			split = coarsenCLJP(g, opts.Seed+int64(len(h.Levels)))
+		} else {
+			split = coarsenRS(g)
+		}
+		enforceInterpolatable(g, split)
+		p := buildInterpolation(cur, g, split, opts.PMax)
+		if p.Cols == 0 || p.Cols >= cur.Rows {
+			break // coarsening stalled
+		}
+		r := p.Transpose()
+		lvl := &Level[T]{A: cur, P: p, R: r, Diag: cur.Diagonal()}
+		h.Levels = append(h.Levels, lvl)
+		cur = matrix.TripleProduct(r, cur, p)
+	}
+	h.Levels = append(h.Levels, &Level[T]{A: cur, Diag: cur.Diagonal()})
+	for _, lvl := range h.Levels {
+		lvl.x = make([]T, lvl.A.Rows)
+		lvl.b = make([]T, lvl.A.Rows)
+		lvl.tmp = make([]T, lvl.A.Rows)
+		lvl.aOp = csrOp[T]{lvl.A}
+		if lvl.P != nil {
+			lvl.pOp = csrOp[T]{lvl.P}
+			lvl.rOp = csrOp[T]{lvl.R}
+		}
+	}
+	var err error
+	h.lu, err = factorDense(cur)
+	if err != nil {
+		return nil, fmt.Errorf("amg: coarse factorisation: %w", err)
+	}
+	return h, nil
+}
+
+// Bind replaces every level's SpMV operators (A, P and R products) with
+// operators produced by the factory — the SMAT integration point.
+func (h *Hierarchy[T]) Bind(factory OperatorFactory[T]) error {
+	for li, lvl := range h.Levels {
+		op, err := factory(lvl.A)
+		if err != nil {
+			return fmt.Errorf("amg: bind level %d A: %w", li, err)
+		}
+		lvl.aOp = op
+		if lvl.P != nil {
+			if op, err = factory(lvl.P); err != nil {
+				return fmt.Errorf("amg: bind level %d P: %w", li, err)
+			}
+			lvl.pOp = op
+			if op, err = factory(lvl.R); err != nil {
+				return fmt.Errorf("amg: bind level %d R: %w", li, err)
+			}
+			lvl.rOp = op
+		}
+	}
+	return nil
+}
+
+// OperatorComplexity returns Σ nnz(A_l) / nnz(A_0), the standard AMG
+// quality metric.
+func (h *Hierarchy[T]) OperatorComplexity() float64 {
+	total := 0
+	for _, lvl := range h.Levels {
+		total += lvl.A.NNZ()
+	}
+	if h.Levels[0].A.NNZ() == 0 {
+		return 0
+	}
+	return float64(total) / float64(h.Levels[0].A.NNZ())
+}

@@ -1,0 +1,186 @@
+package amg
+
+import (
+	"fmt"
+	"math"
+
+	"smat/internal/matrix"
+)
+
+// denseLU is the coarsest-level direct solver: LU with partial pivoting.
+type denseLU[T matrix.Float] struct {
+	n    int
+	lu   []float64
+	perm []int
+}
+
+func factorDense[T matrix.Float](a *matrix.CSR[T]) (*denseLU[T], error) {
+	n := a.Rows
+	f := &denseLU[T]{n: n, lu: make([]float64, n*n), perm: make([]int, n)}
+	for r := 0; r < n; r++ {
+		f.perm[r] = r
+		for jj := a.RowPtr[r]; jj < a.RowPtr[r+1]; jj++ {
+			f.lu[r*n+a.ColIdx[jj]] = float64(a.Vals[jj])
+		}
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, pv := k, math.Abs(f.lu[f.perm[k]*n+k])
+		for r := k + 1; r < n; r++ {
+			if v := math.Abs(f.lu[f.perm[r]*n+k]); v > pv {
+				p, pv = r, v
+			}
+		}
+		if pv == 0 {
+			return nil, fmt.Errorf("amg: singular coarse operator at column %d", k)
+		}
+		f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+		pk := f.perm[k]
+		piv := f.lu[pk*n+k]
+		for r := k + 1; r < n; r++ {
+			pr := f.perm[r]
+			m := f.lu[pr*n+k] / piv
+			f.lu[pr*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for c := k + 1; c < n; c++ {
+				f.lu[pr*n+c] -= m * f.lu[pk*n+c]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve computes x = A⁻¹ b in place.
+func (f *denseLU[T]) solve(b, x []T) {
+	n := f.n
+	ytmp := make([]float64, n)
+	// Forward substitution (unit lower triangular, permuted rows).
+	for i := 0; i < n; i++ {
+		v := float64(b[f.perm[i]])
+		for k := 0; k < i; k++ {
+			v -= f.lu[f.perm[i]*n+k] * ytmp[k]
+		}
+		ytmp[i] = v
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		v := ytmp[i]
+		for k := i + 1; k < n; k++ {
+			v -= f.lu[f.perm[i]*n+k] * float64(x[k])
+		}
+		x[i] = T(v / f.lu[f.perm[i]*n+i])
+	}
+}
+
+// smooth runs one relaxation sweep on A x = b at the given level.
+func (h *Hierarchy[T]) smooth(lvl *Level[T], b, x []T) {
+	switch h.opts.Smoother {
+	case GaussSeidel:
+		a := lvl.A
+		for i := 0; i < a.Rows; i++ {
+			var sum T
+			var diag T
+			for jj := a.RowPtr[i]; jj < a.RowPtr[i+1]; jj++ {
+				j := a.ColIdx[jj]
+				if j == i {
+					diag = a.Vals[jj]
+					continue
+				}
+				sum += a.Vals[jj] * x[j]
+			}
+			if diag != 0 {
+				x[i] = (b[i] - sum) / diag
+			}
+		}
+	default: // weighted Jacobi: x += ω D⁻¹ (b − A x), one SpMV per sweep.
+		lvl.aOp.MulVec(x, lvl.tmp)
+		omega := T(h.opts.Omega)
+		for i := range x {
+			if d := lvl.Diag[i]; d != 0 {
+				x[i] += omega * (b[i] - lvl.tmp[i]) / d
+			}
+		}
+	}
+}
+
+// vcycle runs one V-cycle starting at level li, solving A x = b with the
+// current x as the initial guess.
+func (h *Hierarchy[T]) vcycle(li int, b, x []T) {
+	lvl := h.Levels[li]
+	if lvl.P == nil {
+		h.lu.solve(b, x)
+		return
+	}
+	for s := 0; s < h.opts.Nu1; s++ {
+		h.smooth(lvl, b, x)
+	}
+	// Residual r = b − A x.
+	lvl.aOp.MulVec(x, lvl.tmp)
+	for i := range lvl.tmp {
+		lvl.tmp[i] = b[i] - lvl.tmp[i]
+	}
+	// Restrict and recurse (once for a V-cycle, Gamma times for W-cycles).
+	next := h.Levels[li+1]
+	lvl.rOp.MulVec(lvl.tmp, next.b)
+	clear(next.x)
+	for g := 0; g < h.opts.Gamma; g++ {
+		h.vcycle(li+1, next.b, next.x)
+	}
+	// Prolong and correct.
+	lvl.pOp.MulVec(next.x, lvl.tmp)
+	for i := range x {
+		x[i] += lvl.tmp[i]
+	}
+	for s := 0; s < h.opts.Nu2; s++ {
+		h.smooth(lvl, b, x)
+	}
+}
+
+// VCycle applies one multigrid cycle (V or W per Options.Gamma) to
+// A x = b, refining x in place.
+func (h *Hierarchy[T]) VCycle(b, x []T) { h.vcycle(0, b, x) }
+
+// SolveStats reports a Solve run.
+type SolveStats struct {
+	Iterations  int
+	RelResidual float64
+	Converged   bool
+}
+
+// Solve iterates V-cycles until ‖b − A x‖₂ / ‖b‖₂ ≤ tol or maxIter cycles,
+// refining x in place.
+func (h *Hierarchy[T]) Solve(b, x []T, tol float64, maxIter int) SolveStats {
+	lvl := h.Levels[0]
+	normB := norm2(b)
+	if normB == 0 {
+		clear(x)
+		return SolveStats{Converged: true}
+	}
+	var stats SolveStats
+	for stats.Iterations = 0; stats.Iterations < maxIter; {
+		h.VCycle(b, x)
+		stats.Iterations++
+		lvl.aOp.MulVec(x, lvl.tmp)
+		res := 0.0
+		for i := range b {
+			d := float64(b[i] - lvl.tmp[i])
+			res += d * d
+		}
+		stats.RelResidual = math.Sqrt(res) / normB
+		if stats.RelResidual <= tol {
+			stats.Converged = true
+			break
+		}
+	}
+	return stats
+}
+
+func norm2[T matrix.Float](v []T) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return math.Sqrt(s)
+}

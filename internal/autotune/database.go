@@ -1,0 +1,155 @@
+package autotune
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smat/internal/features"
+	"smat/internal/matrix"
+	"smat/internal/mining"
+)
+
+// Record is one row of the feature database (the "Feature Database" box of
+// the paper's Figure 4): a matrix's identity, its Table 2 feature values,
+// and its measured per-format performance with the resulting best-format
+// label.
+type Record struct {
+	Name     string             `json:"name"`
+	Domain   string             `json:"domain,omitempty"`
+	Features features.Features  `json:"features"`
+	Best     string             `json:"best"`
+	GFLOPS   map[string]float64 `json:"gflops,omitempty"`
+}
+
+// Database is the accumulated training evidence. The paper calls out that
+// the database is open-ended: new matrices append new records, and models
+// retrain from records without re-running any measurement.
+type Database struct {
+	Records []Record
+}
+
+// Append adds a labeled matrix to the database.
+func (db *Database) Append(name, domain string, f features.Features, lbl Label) {
+	g := make(map[string]float64, len(lbl.GFLOPS))
+	for fmtID, v := range lbl.GFLOPS {
+		g[fmtID.String()] = v
+	}
+	db.Records = append(db.Records, Record{
+		Name:     name,
+		Domain:   domain,
+		Features: f,
+		Best:     lbl.Best.String(),
+		GFLOPS:   g,
+	})
+}
+
+// Save writes the database as JSON lines (one record per line), a format
+// that supports appending new records with a text editor or a shell.
+func (db *Database) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range db.Records {
+		if err := enc.Encode(&db.Records[i]); err != nil {
+			return fmt.Errorf("autotune: save database record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDatabase reads a JSON-lines database written by Save.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	db := &Database{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("autotune: database line %d: %w", line, err)
+		}
+		if _, err := matrix.ParseFormat(rec.Best); err != nil {
+			return nil, fmt.Errorf("autotune: database line %d: %w", line, err)
+		}
+		db.Records = append(db.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("autotune: load database: %w", err)
+	}
+	return db, nil
+}
+
+// Dataset converts the database into the learner's input.
+func (db *Database) Dataset() (*mining.Dataset, error) {
+	ds := &mining.Dataset{
+		AttrNames:  features.AttributeNames,
+		ClassNames: classNames(),
+	}
+	for i := range db.Records {
+		rec := &db.Records[i]
+		f, err := matrix.ParseFormat(rec.Best)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: record %d (%s): %w", i, rec.Name, err)
+		}
+		if int(f) >= len(ds.ClassNames) {
+			return nil, fmt.Errorf("autotune: record %d (%s): label %s outside the basic formats",
+				i, rec.Name, rec.Best)
+		}
+		ds.Examples = append(ds.Examples, mining.Example{
+			Attrs: rec.Features.Vector(),
+			Label: int(f),
+		})
+	}
+	return ds, nil
+}
+
+// TrainFromDatabase learns a model from an existing feature database,
+// skipping all measurement. kernels carries the per-format kernel choice for
+// the target architecture (from a previous scoreboard search; nil selects
+// the basic kernels).
+func TrainFromDatabase(db *Database, choice KernelChoice, cfg TrainConfig) (*TrainResult, error) {
+	if len(db.Records) == 0 {
+		return nil, fmt.Errorf("autotune: empty database")
+	}
+	if cfg.TailorLoss <= 0 {
+		cfg.TailorLoss = 0.01
+	}
+	if cfg.ConfidenceThreshold <= 0 {
+		cfg.ConfidenceThreshold = DefaultConfidenceThreshold
+	}
+	ds, err := db.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	res := &TrainResult{Dataset: ds}
+	tree, err := mining.BuildTree(ds, cfg.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: train from database: %w", err)
+	}
+	full := mining.RulesFromTree(tree, ds).SimplifyConditions(ds)
+	tailored := full.Tailor(ds, cfg.TailorLoss)
+	res.FullRuleset = full
+	res.FullRules = len(full.Rules)
+	res.TailoredRules = len(tailored.Rules)
+	res.TrainAccuracy = tailored.Accuracy(ds)
+
+	kmap := map[string]string{}
+	for f, name := range choice {
+		kmap[f.String()] = name
+	}
+	res.Model = &Model{
+		Version:             1,
+		Threads:             cfg.Threads,
+		ConfidenceThreshold: cfg.ConfidenceThreshold,
+		MaxFill:             DefaultMaxFill,
+		Kernels:             kmap,
+		Ruleset:             tailored,
+	}
+	return res, nil
+}

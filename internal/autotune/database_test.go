@@ -1,0 +1,140 @@
+package autotune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smat/internal/features"
+	"smat/internal/matrix"
+)
+
+func sampleDatabase() *Database {
+	db := &Database{}
+	mk := func(name string, ntd, erell, r float64, best matrix.Format) {
+		f := features.Features{
+			M: 100, N: 100, NNZ: 500,
+			AverRD: 5, MaxRD: 8, VarRD: 1,
+			Ndiags: 10, NTdiagsRatio: ntd, ERDIA: 0.5, ERELL: erell, R: r,
+		}
+		db.Append(name, "test", f, Label{
+			Best:   best,
+			GFLOPS: map[matrix.Format]float64{best: 2.0, matrix.FormatCSR: 1.0},
+		})
+	}
+	for i := 0; i < 20; i++ {
+		mk("dia", 0.95, 0.5, features.RNone, matrix.FormatDIA)
+		mk("ell", 0.1, 0.99, features.RNone, matrix.FormatELL)
+		mk("coo", 0.1, 0.2, 2.0, matrix.FormatCOO)
+		mk("csr", 0.1, 0.2, features.RNone, matrix.FormatCSR)
+	}
+	return db
+}
+
+func TestDatabaseSaveLoadRoundTrip(t *testing.T) {
+	db := sampleDatabase()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(db.Records) {
+		t.Fatalf("%d records, want %d", len(back.Records), len(db.Records))
+	}
+	for i := range db.Records {
+		a, b := db.Records[i], back.Records[i]
+		if a.Name != b.Name || a.Best != b.Best || a.Features != b.Features {
+			t.Fatalf("record %d changed: %+v vs %+v", i, a, b)
+		}
+		if a.GFLOPS["CSR"] != b.GFLOPS["CSR"] {
+			t.Fatalf("record %d GFLOPS changed", i)
+		}
+	}
+}
+
+func TestLoadDatabaseRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"not json\n",
+		`{"name":"x","features":{},"best":"NOPE"}` + "\n",
+	}
+	for i, c := range cases {
+		if _, err := LoadDatabase(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Blank lines are tolerated.
+	db, err := LoadDatabase(strings.NewReader("\n\n"))
+	if err != nil || len(db.Records) != 0 {
+		t.Errorf("blank input: %v, %d records", err, len(db.Records))
+	}
+}
+
+func TestTrainFromDatabase(t *testing.T) {
+	db := sampleDatabase()
+	res, err := TrainFromDatabase(db, KernelChoice{matrix.FormatDIA: "dia_blocked"}, TrainConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil || len(res.Model.Ruleset.Rules) == 0 {
+		t.Fatal("no model learned")
+	}
+	// The synthetic database is perfectly separable.
+	if res.TrainAccuracy < 0.99 {
+		t.Errorf("accuracy %g on separable database", res.TrainAccuracy)
+	}
+	if res.Model.Kernels["DIA"] != "dia_blocked" {
+		t.Error("kernel choice not carried into model")
+	}
+	// The learned model must route the archetypes correctly.
+	rs := res.Model.Ruleset
+	diaVec := db.Records[0].Features.Vector()
+	if got := rs.Predict(diaVec); got != int(matrix.FormatDIA) {
+		t.Errorf("DIA archetype predicted %s", rs.ClassNames[got])
+	}
+	cooVec := db.Records[2].Features.Vector()
+	if got := rs.Predict(cooVec); got != int(matrix.FormatCOO) {
+		t.Errorf("COO archetype predicted %s", rs.ClassNames[got])
+	}
+}
+
+func TestTrainFromDatabaseRejectsEmptyAndBadLabels(t *testing.T) {
+	if _, err := TrainFromDatabase(&Database{}, nil, TrainConfig{}); err == nil {
+		t.Error("empty database accepted")
+	}
+	db := &Database{Records: []Record{{Name: "x", Best: "HYB"}}}
+	if _, err := TrainFromDatabase(db, nil, TrainConfig{}); err == nil {
+		t.Error("extension-format label accepted into the basic 4-class model")
+	}
+}
+
+func TestTrainPopulatesDatabase(t *testing.T) {
+	res, err := Train(tinyTrainingSet(), TrainConfig{
+		Threads:          2,
+		Measure:          fastMeasure,
+		SkipKernelSearch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Database == nil || len(res.Database.Records) != len(res.Labels) {
+		t.Fatal("Train did not populate the database")
+	}
+	// Retraining from the produced database must be measurement-free and
+	// reproduce the model's ruleset exactly.
+	again, err := TrainFromDatabase(res.Database, nil, TrainConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Model.Ruleset.Rules) != len(res.Model.Ruleset.Rules) {
+		t.Errorf("retrained ruleset has %d rules, original %d",
+			len(again.Model.Ruleset.Rules), len(res.Model.Ruleset.Rules))
+	}
+	for _, ex := range res.Dataset.Examples {
+		if again.Model.Ruleset.Predict(ex.Attrs) != res.Model.Ruleset.Predict(ex.Attrs) {
+			t.Fatal("retrained model predicts differently")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package autotune
+
+import (
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// DefaultMaxFill bounds DIA/ELL zero-fill during labeling and fallback
+// measurement: conversions that would store more than this multiple of NNZ
+// are skipped as infeasible rather than measured.
+const DefaultMaxFill = 20.0
+
+// Label is the measured ground truth for one matrix: per-format GFLOPS
+// (using each format's chosen kernel) and the winner.
+type Label struct {
+	Best   matrix.Format
+	GFLOPS map[matrix.Format]float64
+}
+
+// Labeler measures matrices to produce training labels.
+type Labeler struct {
+	lib     *kernels.Library[float64]
+	choice  KernelChoice
+	threads int
+	measure MeasureOptions
+	maxFill float64
+}
+
+// NewLabeler builds a labeler that evaluates each format with the kernel the
+// scoreboard search chose (choice may be nil: each format's best is then
+// taken as its basic implementation).
+func NewLabeler(choice KernelChoice, threads int, measure MeasureOptions) *Labeler {
+	return &Labeler{
+		lib:     kernels.NewLibrary[float64](),
+		choice:  choice,
+		threads: threads,
+		measure: measure.withDefaults(),
+		maxFill: DefaultMaxFill,
+	}
+}
+
+// kernelFor resolves the kernel to use for a format.
+func (l *Labeler) kernelFor(f matrix.Format) *kernels.Kernel[float64] {
+	if name, ok := l.choice[f]; ok {
+		if k := l.lib.Lookup(name); k != nil {
+			return k
+		}
+	}
+	return l.lib.Basic(f)
+}
+
+// Label measures the matrix in every feasible format and returns the
+// winner. The exhaustive measurement is the paper's off-line ground truth
+// (and the cost SMAT's learning model exists to avoid at runtime).
+func (l *Labeler) Label(m *matrix.CSR[float64]) Label {
+	lbl := Label{Best: matrix.FormatCSR, GFLOPS: map[matrix.Format]float64{}}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%5)/5
+	}
+	y := make([]float64, m.Rows)
+	flops := kernels.FLOPs(m.NNZ())
+	best := 0.0
+	for _, f := range matrix.Formats {
+		mat, err := kernels.Convert(m, f, l.maxFill)
+		if err != nil {
+			continue
+		}
+		k := l.kernelFor(f)
+		sec := MeasureSecPerOp(func() { k.Run(mat, x, y, l.threads) }, l.measure)
+		g := GFLOPS(flops, sec)
+		lbl.GFLOPS[f] = g
+		if g > best {
+			best = g
+			lbl.Best = f
+		}
+	}
+	return lbl
+}

@@ -1,0 +1,67 @@
+// Package autotune implements SMAT's auto-tuning pipeline. Off-line it
+// labels matrices with their measured best format, searches the kernel
+// library with the paper's performance-table + scoreboard algorithm
+// (Section 5.2), and trains the ruleset learning model. On-line it runs the
+// paper's Figure 7 procedure: extract features, walk the per-format rule
+// groups in DIA→ELL→CSR→COO order, accept a prediction whose confidence
+// clears the threshold, and otherwise fall back to execute-and-measure.
+package autotune
+
+import (
+	"time"
+)
+
+// MeasureOptions controls how a single kernel measurement is taken.
+type MeasureOptions struct {
+	// MinTime is the minimum accumulated runtime per trial; repetitions are
+	// calibrated to reach it (default 1ms).
+	MinTime time.Duration
+	// Trials is the number of independent trials; the fastest is reported,
+	// suppressing scheduler noise (default 3).
+	Trials int
+}
+
+func (o MeasureOptions) withDefaults() MeasureOptions {
+	if o.MinTime <= 0 {
+		o.MinTime = time.Millisecond
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	return o
+}
+
+// MeasureSecPerOp times op and returns the best-case seconds per invocation.
+// One warm-up invocation runs first (it also calibrates the repetition
+// count).
+func MeasureSecPerOp(op func(), opts MeasureOptions) float64 {
+	opts = opts.withDefaults()
+	// Warm-up and calibration run.
+	start := time.Now()
+	op()
+	once := time.Since(start)
+	reps := 1
+	if once > 0 && once < opts.MinTime {
+		reps = int(opts.MinTime/once) + 1
+	}
+	best := 0.0
+	for trial := 0; trial < opts.Trials; trial++ {
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			op()
+		}
+		sec := time.Since(start).Seconds() / float64(reps)
+		if trial == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// GFLOPS converts an operation count and per-op seconds to GFLOPS.
+func GFLOPS(flops int64, secPerOp float64) float64 {
+	if secPerOp <= 0 {
+		return 0
+	}
+	return float64(flops) / secPerOp / 1e9
+}

@@ -1,0 +1,279 @@
+package autotune
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"smat/internal/features"
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// Decision records everything about one runtime tuning decision, feeding the
+// paper's Table 3 (prediction, fallback, overhead in CSR-SpMV units).
+type Decision struct {
+	Features features.Features
+
+	// Predicted is the model's format when PredictedOK; Confidence is the
+	// matched rule-group confidence.
+	Predicted   matrix.Format
+	PredictedOK bool
+	Confidence  float64
+
+	// UsedFallback reports that the execute-and-measure path ran; Measured
+	// holds its per-format GFLOPS.
+	UsedFallback bool
+	Measured     map[matrix.Format]float64
+
+	// Chosen is the final format; Kernel the implementation name.
+	Chosen matrix.Format
+	Kernel string
+
+	// Timing breakdown (seconds).
+	FeatureSec  float64
+	ConvertSec  float64
+	FallbackSec float64
+	CSRSpMVSec  float64
+}
+
+// Overhead returns the total decision cost in multiples of one basic
+// CSR-SpMV execution, the unit of the paper's Table 3.
+func (d *Decision) Overhead() float64 {
+	if d.CSRSpMVSec <= 0 {
+		return 0
+	}
+	return (d.FeatureSec + d.ConvertSec + d.FallbackSec) / d.CSRSpMVSec
+}
+
+// Operator is a tuned SpMV: the matrix materialised in its chosen format
+// bound to its chosen kernel. It is what SMAT_xCSR_SpMV hands back.
+type Operator[T matrix.Float] struct {
+	mat     *kernels.Mat[T]
+	kernel  *kernels.Kernel[T]
+	threads int
+	nnz     int
+}
+
+// MulVec computes y = A·x.
+func (o *Operator[T]) MulVec(x, y []T) { o.kernel.Run(o.mat, x, y, o.threads) }
+
+// Format returns the storage format the tuner chose.
+func (o *Operator[T]) Format() matrix.Format { return o.mat.Format }
+
+// KernelName returns the chosen implementation.
+func (o *Operator[T]) KernelName() string { return o.kernel.Name }
+
+// NNZ returns the operator's nonzero count.
+func (o *Operator[T]) NNZ() int { return o.nnz }
+
+// Dims returns the operator's dimensions.
+func (o *Operator[T]) Dims() (rows, cols int) { return o.mat.Dims() }
+
+// Tuner is the runtime component: it holds a trained model and produces
+// tuned operators from CSR inputs.
+type Tuner[T matrix.Float] struct {
+	model   *Model
+	lib     *kernels.Library[T]
+	threads int
+	measure MeasureOptions
+}
+
+// NewTuner builds a runtime tuner from a trained model. threads ≤ 0 uses the
+// model's trained thread count capped to GOMAXPROCS.
+func NewTuner[T matrix.Float](model *Model, threads int) *Tuner[T] {
+	if threads <= 0 {
+		threads = model.Threads
+	}
+	if max := runtime.GOMAXPROCS(0); threads <= 0 || threads > max {
+		threads = max
+	}
+	return &Tuner[T]{
+		model:   model,
+		lib:     kernels.NewLibrary[T](),
+		threads: threads,
+		// Fallback measurements favour speed over precision: the paper keeps
+		// the whole fallback within ~16 CSR-SpMV executions.
+		measure: MeasureOptions{MinTime: 200 * time.Microsecond, Trials: 1},
+	}
+}
+
+// Threads returns the tuner's thread configuration.
+func (t *Tuner[T]) Threads() int { return t.threads }
+
+// Model returns the underlying trained model.
+func (t *Tuner[T]) Model() *Model { return t.model }
+
+// kernelFor resolves the model's kernel choice for a format.
+func (t *Tuner[T]) kernelFor(f matrix.Format) *kernels.Kernel[T] {
+	if name, ok := t.model.Kernels[f.String()]; ok {
+		if k := t.lib.Lookup(name); k != nil {
+			return k
+		}
+	}
+	return t.lib.Basic(f)
+}
+
+// Tune runs the paper's Figure 7 runtime procedure on a CSR matrix: feature
+// extraction, ordered rule-group evaluation against the confidence
+// threshold, and the execute-and-measure fallback when the model is not
+// confident. It returns the tuned operator and the full decision record.
+func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
+	d := &Decision{}
+
+	start := time.Now()
+	d.Features = features.Extract(m)
+	d.FeatureSec = time.Since(start).Seconds()
+	fv := d.Features.Vector()
+
+	// Rule groups in DIA → ELL → CSR → COO order (Section 6): the first
+	// group with a matching rule above the confidence threshold wins.
+	for _, f := range matrix.Formats {
+		conf, matched := t.groupConfidence(fv, f)
+		if !matched {
+			continue
+		}
+		if conf > t.model.ConfidenceThreshold && feasible(f, &d.Features, t.model.MaxFill) {
+			d.Predicted = f
+			d.PredictedOK = true
+			d.Confidence = conf
+			break
+		}
+	}
+
+	if d.PredictedOK {
+		start = time.Now()
+		mat, err := kernels.Convert(m, d.Predicted, t.model.MaxFill)
+		d.ConvertSec = time.Since(start).Seconds()
+		if err == nil {
+			d.Chosen = d.Predicted
+			k := t.kernelFor(d.Chosen)
+			d.Kernel = k.Name
+			t.accountCSRBaseline(m, d)
+			return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, d, nil
+		}
+		// Fill guard rejected the predicted format; fall through to
+		// measurement.
+		d.PredictedOK = false
+	}
+
+	op, err := t.fallback(m, d)
+	if err != nil {
+		return nil, d, err
+	}
+	t.accountCSRBaseline(m, d)
+	return op, d, nil
+}
+
+// groupConfidence returns the confidence of the first rule of class f (in
+// ruleset order) matching the feature vector.
+func (t *Tuner[T]) groupConfidence(fv []float64, f matrix.Format) (float64, bool) {
+	for i := range t.model.Ruleset.Rules {
+		r := &t.model.Ruleset.Rules[i]
+		if r.Class == int(f) && r.Matches(fv) {
+			return r.Confidence, true
+		}
+	}
+	return 0, false
+}
+
+// fallbackMaxFill is the tighter zero-fill bound of the execute-and-measure
+// path: a DIA/ELL representation padding more than this multiple of NNZ
+// cannot win, and converting it just to measure it would blow the fallback
+// budget far past the paper's ~16 CSR-SpMV executions.
+const fallbackMaxFill = 3.0
+
+// feasible predicts from the already-extracted features whether converting
+// to f stays within the given fill limit, without touching the matrix.
+func feasible(f matrix.Format, ft *features.Features, maxFill float64) bool {
+	switch f {
+	case matrix.FormatDIA:
+		return ft.ERDIA > 0 && 1/ft.ERDIA <= maxFill
+	case matrix.FormatELL:
+		return ft.ERELL > 0 && 1/ft.ERELL <= maxFill
+	default:
+		return true
+	}
+}
+
+// fallback is the execute-and-measure path: benchmark every feasible format
+// once and keep the fastest, reusing the winner's conversion.
+func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
+	d.UsedFallback = true
+	d.Measured = map[matrix.Format]float64{}
+	start := time.Now()
+	defer func() { d.FallbackSec = time.Since(start).Seconds() }()
+
+	x := make([]T, m.Cols)
+	for i := range x {
+		x[i] = T(1)
+	}
+	y := make([]T, m.Rows)
+	flops := kernels.FLOPs(m.NNZ())
+
+	// Calibrate the per-format measurement budget against this matrix's own
+	// basic CSR-SpMV time, so the whole fallback stays near the paper's ~16
+	// CSR-SpMV executions regardless of matrix size.
+	basicCSR := t.lib.Basic(matrix.FormatCSR)
+	csrMat := &kernels.Mat[T]{Format: matrix.FormatCSR, CSR: m}
+	st := time.Now()
+	basicCSR.Run(csrMat, x, y, 1)
+	csrSec := time.Since(st).Seconds()
+	d.CSRSpMVSec = csrSec
+	measure := t.measure
+	if budget := time.Duration(3 * csrSec * float64(time.Second)); budget < measure.MinTime {
+		if budget < 10*time.Microsecond {
+			budget = 10 * time.Microsecond
+		}
+		measure.MinTime = budget
+	}
+
+	var bestOp *Operator[T]
+	best := -1.0
+	maxFill := fallbackMaxFill
+	if t.model.MaxFill < maxFill {
+		maxFill = t.model.MaxFill
+	}
+	for _, f := range matrix.Formats {
+		if !feasible(f, &d.Features, maxFill) {
+			continue
+		}
+		mat, err := kernels.Convert(m, f, maxFill)
+		if err != nil {
+			continue
+		}
+		k := t.kernelFor(f)
+		sec := MeasureSecPerOp(func() { k.Run(mat, x, y, t.threads) }, measure)
+		g := GFLOPS(flops, sec)
+		d.Measured[f] = g
+		if g > best {
+			best = g
+			bestOp = &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}
+		}
+	}
+	if bestOp == nil {
+		return nil, fmt.Errorf("autotune: no feasible format for %dx%d matrix", m.Rows, m.Cols)
+	}
+	d.Chosen = bestOp.Format()
+	d.Kernel = bestOp.KernelName()
+	return bestOp, nil
+}
+
+// accountCSRBaseline fills Decision.CSRSpMVSec (the paper's overhead unit)
+// with the cost of one basic CSR SpMV, measured with a single run so the
+// accounting itself stays cheap.
+func (t *Tuner[T]) accountCSRBaseline(m *matrix.CSR[T], d *Decision) {
+	if d.CSRSpMVSec > 0 || m.NNZ() == 0 {
+		return
+	}
+	basic := t.lib.Basic(matrix.FormatCSR)
+	mat := &kernels.Mat[T]{Format: matrix.FormatCSR, CSR: m}
+	x := make([]T, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]T, m.Rows)
+	st := time.Now()
+	basic.Run(mat, x, y, 1)
+	d.CSRSpMVSec = time.Since(st).Seconds()
+}

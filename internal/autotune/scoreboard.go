@@ -1,0 +1,175 @@
+package autotune
+
+import (
+	"math/rand"
+	"sort"
+
+	"smat/internal/gen"
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// indifferenceGFLOPS is the paper's 0.01 GFLOPS band: two implementations
+// closer than this are considered equal and the strategy difference between
+// them is neglected.
+const indifferenceGFLOPS = 0.01
+
+// PerfRecord is one row of the performance record table: a kernel and its
+// measured GFLOPS on the probe matrix.
+type PerfRecord struct {
+	Kernel     string
+	Strategies kernels.Strategy
+	GFLOPS     float64
+}
+
+// SearchResult reports the scoreboard search for one format.
+type SearchResult struct {
+	Format         matrix.Format
+	Table          []PerfRecord
+	StrategyScores map[string]int
+	KernelScores   map[string]int
+	Best           string
+}
+
+// KernelChoice maps each format to its chosen kernel name.
+type KernelChoice map[matrix.Format]string
+
+// SearchConfig controls the off-line kernel search.
+type SearchConfig struct {
+	// Threads is the architecture configuration under search (≤0: GOMAXPROCS).
+	Threads int
+	// ProbeScale scales the probe matrix sizes in (0, 1]; default 1.
+	ProbeScale float64
+	// Measure controls individual timings.
+	Measure MeasureOptions
+	// Seed feeds the probe generators.
+	Seed int64
+}
+
+// probeMatrix builds the format's characteristic probe: the kernel search
+// evaluates each format family on a matrix that format is meant for, the way
+// the paper searches per-format implementations on the target architecture.
+func probeMatrix(f matrix.Format, scale float64, seed int64) *matrix.CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	dim := func(n int) int {
+		d := int(float64(n) * scale)
+		if d < 64 {
+			d = 64
+		}
+		return d
+	}
+	switch f {
+	case matrix.FormatDIA:
+		k := dim(500)
+		return gen.Laplacian2D5pt[float64](k, k)
+	case matrix.FormatELL:
+		return gen.ConstantDegree[float64](dim(100000), 4, rng)
+	case matrix.FormatCOO:
+		return gen.RoadNetwork[float64](dim(150000), rng)
+	default:
+		return gen.RandomUniform[float64](dim(30000), dim(30000), 40, rng)
+	}
+}
+
+// SearchKernels runs the paper's two-step search: measure every registered
+// implementation into a performance record table, then score each
+// optimization strategy on a scoreboard by comparing implementations that
+// differ in exactly that strategy. Each implementation's score is the sum of
+// its strategies' scores; the highest-scoring implementation per format wins
+// (ties break on measured GFLOPS).
+func SearchKernels(cfg SearchConfig) (KernelChoice, []SearchResult) {
+	cfg.Measure = cfg.Measure.withDefaults()
+	if cfg.ProbeScale <= 0 || cfg.ProbeScale > 1 {
+		cfg.ProbeScale = 1
+	}
+	lib := kernels.NewLibrary[float64]()
+	choice := KernelChoice{}
+	var results []SearchResult
+	for _, f := range matrix.Formats {
+		res := searchFormat(lib, f, cfg)
+		results = append(results, res)
+		choice[f] = res.Best
+	}
+	return choice, results
+}
+
+func searchFormat(lib *kernels.Library[float64], f matrix.Format, cfg SearchConfig) SearchResult {
+	probe := probeMatrix(f, cfg.ProbeScale, cfg.Seed+int64(f))
+	mat, err := kernels.Convert(probe, f, 0)
+	if err != nil {
+		// Probes are chosen to fit their format; unreachable.
+		panic(err)
+	}
+	x := make([]float64, probe.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, probe.Rows)
+	flops := kernels.FLOPs(probe.NNZ())
+
+	// Step 1: the performance record table.
+	res := SearchResult{Format: f, StrategyScores: map[string]int{}, KernelScores: map[string]int{}}
+	perf := map[kernels.Strategy]float64{}
+	name := map[kernels.Strategy]string{}
+	for _, k := range lib.ForFormat(f) {
+		sec := MeasureSecPerOp(func() { k.Run(mat, x, y, cfg.Threads) }, cfg.Measure)
+		g := GFLOPS(flops, sec)
+		res.Table = append(res.Table, PerfRecord{Kernel: k.Name, Strategies: k.Strategies, GFLOPS: g})
+		perf[k.Strategies] = g
+		name[k.Strategies] = k.Name
+	}
+
+	// Step 2: the scoreboard. Every implementation is compared against the
+	// implementations having exactly one less strategy; the differing
+	// strategy is marked +1 on a gain, -1 on a loss, 0 within the paper's
+	// 0.01 GFLOPS indifference band.
+	scores := map[kernels.Strategy]int{}
+	for combo, g := range perf {
+		if combo == 0 {
+			continue
+		}
+		for _, sn := range kernels.StrategyNames {
+			if combo&sn.S == 0 {
+				continue
+			}
+			base, ok := perf[combo&^sn.S]
+			if !ok {
+				continue // no registered implementation with one less strategy
+			}
+			switch {
+			case g-base > indifferenceGFLOPS:
+				scores[sn.S]++
+			case base-g > indifferenceGFLOPS:
+				scores[sn.S]--
+			}
+		}
+	}
+	for _, sn := range kernels.StrategyNames {
+		if s, ok := scores[sn.S]; ok {
+			res.StrategyScores[sn.Name] = s
+		}
+	}
+
+	// Implementation score = sum of its strategies' scores; best wins, ties
+	// break on raw GFLOPS.
+	bestName, bestScore, bestG := "", -1<<30, 0.0
+	combos := make([]kernels.Strategy, 0, len(perf))
+	for combo := range perf {
+		combos = append(combos, combo)
+	}
+	sort.Slice(combos, func(i, j int) bool { return combos[i] < combos[j] })
+	for _, combo := range combos {
+		score := 0
+		for _, sn := range kernels.StrategyNames {
+			if combo&sn.S != 0 {
+				score += scores[sn.S]
+			}
+		}
+		res.KernelScores[name[combo]] = score
+		if score > bestScore || (score == bestScore && perf[combo] > bestG) {
+			bestName, bestScore, bestG = name[combo], score, perf[combo]
+		}
+	}
+	res.Best = bestName
+	return res
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"smat/internal/amg"
+	"smat/internal/autotune"
+	"smat/internal/gen"
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// Figure1Result reproduces Figure 1: the sequence of grid operators an AMG
+// setup generates from one input matrix, with the per-format SpMV
+// performance at every level — demonstrating that the optimal format changes
+// across levels of a single application run.
+type Figure1Result struct {
+	Rows []Figure1Row
+}
+
+// Figure1Row is one AMG level.
+type Figure1Row struct {
+	Level  int
+	Rows   int
+	NNZ    int
+	GFLOPS map[matrix.Format]float64
+	Best   matrix.Format
+}
+
+// Figure1 builds an AMG hierarchy on a 3D 7-point Laplacian (the paper's
+// Figure 1 input) and labels every level operator.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	cfg = cfg.withDefaults()
+	n := scaledGrid(34, cfg.Scale)
+	a := gen.Laplacian3D7pt[float64](n, n, n)
+	h, err := amg.Setup(a, amg.Options{Coarsening: amg.CLJP, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	labeler := autotune.NewLabeler(cfg.choice(), cfg.Threads, cfg.Measure)
+	res := &Figure1Result{}
+	for li, lvl := range h.Levels {
+		lbl := labeler.Label(lvl.A)
+		res.Rows = append(res.Rows, Figure1Row{
+			Level:  li,
+			Rows:   lvl.A.Rows,
+			NNZ:    lvl.A.NNZ(),
+			GFLOPS: lbl.GFLOPS,
+			Best:   lbl.Best,
+		})
+	}
+
+	t := &table{header: []string{"Level", "Rows", "NNZ", "CSR", "COO", "DIA", "ELL", "Best"}}
+	for _, row := range res.Rows {
+		cell := func(f matrix.Format) string {
+			if g, ok := row.GFLOPS[f]; ok {
+				return f2(g)
+			}
+			return "-"
+		}
+		t.add(fmt.Sprint(row.Level), fmt.Sprint(row.Rows), fmt.Sprint(row.NNZ),
+			cell(matrix.FormatCSR), cell(matrix.FormatCOO),
+			cell(matrix.FormatDIA), cell(matrix.FormatELL), row.Best.String())
+	}
+	fmt.Fprintln(cfg.Out, "Figure 1: dynamic sparse structures across AMG levels (GFLOPS per format)")
+	t.print(cfg.Out)
+	t.saveTSV(cfg, "figure1")
+	return res, nil
+}
+
+// Table4Result reproduces Table 4: the AMG solve-phase time with plain-CSR
+// SpMV (the Hypre proxy) versus SMAT-tuned SpMV, for the paper's two
+// configurations (cljp coarsening on a 3D 7-point problem, Ruge–Stüben on a
+// 2D 9-point problem).
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4Row is one solver configuration.
+type Table4Row struct {
+	Name      string
+	Rows      int
+	Levels    int
+	BaseMS    float64 // plain-CSR solve time
+	SmatMS    float64 // SMAT-bound solve time
+	TuneMS    float64 // one-time SMAT tuning of all level operators
+	Speedup   float64
+	BaseIters int
+	SmatIters int
+	Formats   []string // chosen format per level operator A_l
+}
+
+// csrFactory binds levels to the parallel CSR kernel: the fixed-format
+// baseline, standing in for Hypre's native CSR SpMV.
+func csrFactory(threads int) amg.OperatorFactory[float64] {
+	lib := kernels.NewLibrary[float64]()
+	k := lib.Lookup("csr_parallel")
+	return func(m *matrix.CSR[float64]) (amg.SpMV[float64], error) {
+		mat := &kernels.Mat[float64]{Format: matrix.FormatCSR, CSR: m}
+		return spmvFunc[float64](func(x, y []float64) { k.Run(mat, x, y, threads) }), nil
+	}
+}
+
+type spmvFunc[T matrix.Float] func(x, y []T)
+
+func (f spmvFunc[T]) MulVec(x, y []T) { f(x, y) }
+
+// Table4 runs both AMG configurations to a fixed tolerance with each SpMV
+// binding and reports solve-phase times.
+func Table4(cfg Config) (*Table4Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table4Result{}
+	configs := []struct {
+		name  string
+		build func() *matrix.CSR[float64]
+		opts  amg.Options
+	}{
+		{
+			// Paper: "cljp 7pt 50" — 50³ = 125K rows.
+			name: "cljp_7pt",
+			build: func() *matrix.CSR[float64] {
+				n := scaledGrid(50, cfg.Scale)
+				return gen.Laplacian3D7pt[float64](n, n, n)
+			},
+			opts: amg.Options{Coarsening: amg.CLJP, Seed: cfg.Seed},
+		},
+		{
+			// Paper: "rugeL 9pt 500" — 500² = 250K rows.
+			name:  "rugeL_9pt",
+			build: func() *matrix.CSR[float64] { n := scaledGrid(500, cfg.Scale); return gen.Laplacian2D9pt[float64](n, n) },
+			opts:  amg.Options{Coarsening: amg.RugeStueben},
+		},
+	}
+	for _, c := range configs {
+		a := c.build()
+		h, err := amg.Setup(a, c.opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s setup: %w", c.name, err)
+		}
+		row := Table4Row{Name: c.name, Rows: a.Rows, Levels: len(h.Levels)}
+
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, a.Rows)
+		solve := func() (time.Duration, int) {
+			clear(x)
+			start := time.Now()
+			stats := h.Solve(b, x, 1e-8, 100)
+			return time.Since(start), stats.Iterations
+		}
+
+		if err := h.Bind(csrFactory(cfg.Threads)); err != nil {
+			return nil, err
+		}
+		solve() // warm-up
+		dBase, itBase := solve()
+		row.BaseMS = float64(dBase.Microseconds()) / 1000
+		row.BaseIters = itBase
+
+		tuner := autotune.NewTuner[float64](cfg.Model, cfg.Threads)
+		tuneStart := time.Now()
+		var formats []string
+		err = h.Bind(func(m *matrix.CSR[float64]) (amg.SpMV[float64], error) {
+			op, _, err := tuner.Tune(m)
+			if err != nil {
+				return nil, err
+			}
+			formats = append(formats, op.Format().String())
+			return op, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.TuneMS = float64(time.Since(tuneStart).Microseconds()) / 1000
+		// Bind visits A, P, R per level; keep only the A formats (every
+		// third entry starting at 0 for non-coarsest levels, last is the
+		// coarsest A).
+		for i := 0; i < len(formats); i += 3 {
+			row.Formats = append(row.Formats, formats[i])
+		}
+		solve() // warm-up
+		dSmat, itSmat := solve()
+		row.SmatMS = float64(dSmat.Microseconds()) / 1000
+		row.SmatIters = itSmat
+		if row.SmatMS > 0 {
+			row.Speedup = row.BaseMS / row.SmatMS
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	t := &table{header: []string{"Coarsen", "Rows", "Levels", "Hypre-proxy(ms)", "SMAT-AMG(ms)", "Speedup", "Tune(ms)", "A-formats"}}
+	for _, row := range res.Rows {
+		t.add(row.Name, fmt.Sprint(row.Rows), fmt.Sprint(row.Levels),
+			f2(row.BaseMS), f2(row.SmatMS), f2(row.Speedup)+"x", f2(row.TuneMS),
+			fmt.Sprint(row.Formats))
+	}
+	fmt.Fprintln(cfg.Out, "Table 4: SMAT-based AMG solve time vs plain-CSR AMG")
+	t.print(cfg.Out)
+	t.saveTSV(cfg, "table4")
+	return res, nil
+}
+
+// scaledGrid scales a per-side grid dimension by the cube/square root-free
+// linear factor, with a floor that keeps AMG meaningful.
+func scaledGrid(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 12 {
+		n = 12
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+// Package bench regenerates the paper's evaluation: every table and figure
+// has a function here that builds the workload, runs the measurement, and
+// prints rows in the paper's shape. cmd/smat-bench drives it from the
+// command line; the root-level benchmarks drive the same code under
+// testing.B.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"smat/internal/autotune"
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// Config is shared by all experiments.
+type Config struct {
+	// Scale shrinks every workload's matrix dimensions, (0, 1].
+	Scale float64
+	// Threads is "platform A" (default GOMAXPROCS); ThreadsB is "platform
+	// B", the second architecture configuration (default half of A, min 1).
+	Threads, ThreadsB int
+	// Model drives SMAT decisions (required; cmd/smat-bench loads a trained
+	// model or falls back to the heuristic one).
+	Model *autotune.Model
+	// Measure controls timing windows.
+	Measure autotune.MeasureOptions
+	// Stride samples every k-th corpus entry in corpus-wide experiments
+	// (1 = all 2386).
+	Stride int
+	// Seed feeds workload generators.
+	Seed int64
+	// Out receives the printed experiment (default: discard).
+	Out io.Writer
+	// DataDir, when set, receives one tab-separated data file per
+	// experiment (plot-ready series).
+	DataDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.ThreadsB <= 0 {
+		c.ThreadsB = max(1, c.Threads/2)
+	}
+	if c.Stride < 1 {
+		c.Stride = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// choice extracts the model's per-format kernel choice.
+func (c Config) choice() autotune.KernelChoice {
+	out := autotune.KernelChoice{}
+	for name, kernel := range c.Model.Kernels {
+		f, err := matrix.ParseFormat(name)
+		if err == nil {
+			out[f] = kernel
+		}
+	}
+	return out
+}
+
+// measureOperator times an already-tuned operator and returns GFLOPS.
+func measureOperator[T matrix.Float](op interface{ MulVec(x, y []T) }, cols, rows, nnz int,
+	m autotune.MeasureOptions) float64 {
+	x := make([]T, cols)
+	for i := range x {
+		x[i] = T(1) + T(i%7)/8
+	}
+	y := make([]T, rows)
+	sec := autotune.MeasureSecPerOp(func() { op.MulVec(x, y) }, m)
+	return autotune.GFLOPS(kernels.FLOPs(nnz), sec)
+}
+
+// castCSR converts an assembled float64 matrix to float32 for the
+// single-precision axis of Figures 9 and 10.
+func castCSR(m *matrix.CSR[float64]) *matrix.CSR[float32] {
+	out := &matrix.CSR[float32]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Vals:   make([]float32, len(m.Vals)),
+	}
+	for i, v := range m.Vals {
+		out.Vals[i] = float32(v)
+	}
+	return out
+}
+
+// table is a minimal fixed-width table printer for paper-style output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) print(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// saveTSV writes the table as a tab-separated data file under cfg.DataDir
+// (no-op when DataDir is empty). Errors are reported on cfg.Out rather than
+// failing the experiment: the printed table is the primary artifact.
+func (t *table) saveTSV(cfg Config, name string) {
+	if cfg.DataDir == "" {
+		return
+	}
+	path := filepath.Join(cfg.DataDir, name+".tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "(tsv export failed: %v)\n", err)
+		return
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, strings.Join(t.header, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(cfg.Out, "(tsv export failed: %v)\n", err)
+	}
+}

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smat"
+	"smat/internal/autotune"
+	"smat/internal/matrix"
+)
+
+// fastCfg returns a config small enough for unit testing every experiment.
+func fastCfg(out *bytes.Buffer) Config {
+	return Config{
+		Scale:   0.02,
+		Threads: 2,
+		Model:   smat.HeuristicModel(),
+		Measure: autotune.MeasureOptions{MinTime: 50 * time.Microsecond, Trials: 1},
+		Stride:  101,
+		Seed:    3,
+		Out:     out,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var out bytes.Buffer
+	res := Table1(fastCfg(&out))
+	if res.N == 0 {
+		t.Fatal("no matrices labeled")
+	}
+	sum := 0
+	for _, n := range res.Totals {
+		sum += n
+	}
+	if sum != res.N {
+		t.Errorf("totals sum %d != N %d", sum, res.N)
+	}
+	pct := 0.0
+	for _, p := range res.Percent {
+		pct += p
+	}
+	if math.Abs(pct-100) > 0.5 {
+		t.Errorf("percentages sum to %g", pct)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Error("missing printed header")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	var out bytes.Buffer
+	res := Figure3(fastCfg(&out))
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows, want 16 representatives", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.GFLOPS) == 0 {
+			t.Errorf("%s: no formats measured", row.Name)
+		}
+		if g, ok := row.GFLOPS[matrix.FormatCSR]; !ok || g <= 0 {
+			t.Errorf("%s: CSR GFLOPS %g", row.Name, g)
+		}
+	}
+	if res.MaxGap < 1 {
+		t.Errorf("max gap %g < 1", res.MaxGap)
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	var out bytes.Buffer
+	res := Figure9(fastCfg(&out))
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SPA <= 0 || row.DPA <= 0 || row.SPB <= 0 || row.DPB <= 0 {
+			t.Errorf("%s: non-positive GFLOPS %+v", row.Name, row)
+		}
+	}
+	if res.PeakDPA <= 0 {
+		t.Error("no peak recorded")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Stride = 301
+	res := Figure10(cfg)
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SpeedupDP <= 0 {
+			t.Errorf("%s: speedup %g", row.Name, row.SpeedupDP)
+		}
+	}
+	if res.AvgDP <= 0 {
+		t.Error("no eval aggregate")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Stride = 301
+	res := Table3(cfg)
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Prediction == "" {
+			t.Errorf("row %d: empty prediction", row.Number)
+		}
+		if row.Overhead < 0 {
+			t.Errorf("row %d: negative overhead", row.Number)
+		}
+		if !row.Right && row.SmatChoice == row.BestFormat {
+			t.Errorf("row %d: accuracy flag inconsistent", row.Number)
+		}
+	}
+	if res.EvalN == 0 || res.EvalAccuracy < 0 || res.EvalAccuracy > 1 {
+		t.Errorf("eval accuracy %g over %d", res.EvalAccuracy, res.EvalN)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	var out bytes.Buffer
+	res := Figure6(fastCfg(&out))
+	if len(res.Panels) != 7 {
+		t.Fatalf("%d panels, want 7", len(res.Panels))
+	}
+	for _, p := range res.Panels {
+		if len(p.Intervals) != len(p.Percent) {
+			t.Fatalf("%s: intervals/percent mismatch", p.Param)
+		}
+		if p.N == 0 {
+			continue // no beneficial matrices in this tiny sample
+		}
+		sum := 0.0
+		for _, pc := range p.Percent {
+			sum += pc
+		}
+		if math.Abs(sum-100) > 0.5 {
+			t.Errorf("%s: percentages sum to %g", p.Param, sum)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	var out bytes.Buffer
+	res, err := Figure1(fastCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("%d levels, want ≥2", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Rows >= res.Rows[i-1].Rows {
+			t.Errorf("level %d not coarser", i)
+		}
+	}
+	// The finest level is a 7-point stencil: DIA must at least be feasible.
+	if _, ok := res.Rows[0].GFLOPS[matrix.FormatDIA]; !ok {
+		t.Error("DIA infeasible on the stencil level")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Scale = 0.06
+	res, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 configurations", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.BaseMS <= 0 || row.SmatMS <= 0 {
+			t.Errorf("%s: non-positive times %+v", row.Name, row)
+		}
+		if row.BaseIters == 0 || row.SmatIters == 0 {
+			t.Errorf("%s: did not iterate", row.Name)
+		}
+		if len(row.Formats) != row.Levels {
+			t.Errorf("%s: %d A-formats for %d levels", row.Name, len(row.Formats), row.Levels)
+		}
+	}
+}
+
+func TestAblationThreshold(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Stride = 301
+	res := AblationThreshold(cfg, []float64{0.05, 1.0})
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	lo, hi := res.Rows[0], res.Rows[1]
+	if hi.FallbackRate < lo.FallbackRate {
+		t.Errorf("fallback rate decreased with threshold: %g vs %g", lo.FallbackRate, hi.FallbackRate)
+	}
+	// Threshold 1.0 means no rule is ever confident enough: all fallback,
+	// and the fallback always picks a measured-best format.
+	if hi.FallbackRate != 1.0 {
+		t.Errorf("threshold 1.0 fallback rate = %g, want 1", hi.FallbackRate)
+	}
+}
+
+func TestAblationScoreboard(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Scale = 0.05
+	res := AblationScoreboard(cfg)
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 formats", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ChosenGFLOPS <= 0 || row.BestGFLOPS <= 0 || row.Basic <= 0 {
+			t.Errorf("%v: non-positive measurements %+v", row.Format, row)
+		}
+		if row.ChosenGFLOPS > row.BestGFLOPS+1e-9 {
+			t.Errorf("%v: chosen faster than exhaustive best?", row.Format)
+		}
+	}
+}
+
+func TestAblationTailoringAndFeatures(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.Stride = 151
+	tail, err := AblationTailoring(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.TailoredRules > tail.FullRules {
+		t.Error("tailored ruleset larger than full")
+	}
+	feat, err := AblationFeatures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feat.FullAccuracy < 0 || feat.FullAccuracy > 1 ||
+		feat.ReducedAccuracy < 0 || feat.ReducedAccuracy > 1 {
+		t.Errorf("accuracies out of range: %+v", feat)
+	}
+}
+
+func TestDataDirExport(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	cfg.DataDir = t.TempDir()
+	Figure3(cfg)
+	data, err := os.ReadFile(filepath.Join(cfg.DataDir, "figure3.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 17 { // header + 16 representatives
+		t.Fatalf("%d lines, want 17", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Matrix\tCSR\tCOO") {
+		t.Errorf("bad header %q", lines[0])
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	var out bytes.Buffer
+	cfg := fastCfg(&out)
+	res := Extensions(cfg)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d workloads, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GFLOPS[matrix.FormatHYB] == "" || row.GFLOPS[matrix.FormatBCSR] == "" {
+			t.Errorf("%s: extension formats not measured", row.Workload)
+		}
+		if row.GFLOPS[matrix.FormatCSR] == "-" {
+			t.Errorf("%s: CSR infeasible?", row.Workload)
+		}
+	}
+}

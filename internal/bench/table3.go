@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"smat/internal/autotune"
+	"smat/internal/corpus"
+	"smat/internal/matrix"
+)
+
+// Table3Result reproduces Table 3: per representative matrix, the model's
+// prediction, the execute-and-measure fallback (if any), SMAT's final
+// choice, the exhaustively-measured best format, whether SMAT was right, and
+// the decision overhead in CSR-SpMV multiples — plus aggregate accuracy over
+// the held-out evaluation split.
+type Table3Result struct {
+	Rows []Table3Row
+	// EvalAccuracy is the fraction of sampled evaluation matrices where
+	// SMAT's final choice matches the measured best format.
+	EvalAccuracy float64
+	EvalN        int
+	// MeanOverheadPredicted / MeanOverheadFallback split the overhead by
+	// decision path (the paper: ≈2–5× predicted, ≈15–16× fallback).
+	MeanOverheadPredicted float64
+	MeanOverheadFallback  float64
+}
+
+// Table3Row is one matrix's decision audit.
+type Table3Row struct {
+	Number     int
+	Name       string
+	Prediction string // predicted format or "confidence<TH"
+	Execution  string // formats measured by the fallback, or "-"
+	SmatChoice matrix.Format
+	BestFormat matrix.Format
+	Right      bool
+	Overhead   float64
+}
+
+// Table3 audits the runtime decision on every representative matrix and
+// aggregates accuracy over the evaluation split.
+func Table3(cfg Config) *Table3Result {
+	cfg = cfg.withDefaults()
+	res := &Table3Result{}
+	tuner := autotune.NewTuner[float64](cfg.Model, cfg.Threads)
+	labeler := autotune.NewLabeler(cfg.choice(), cfg.Threads, cfg.Measure)
+
+	var predSum, fbSum float64
+	var predN, fbN int
+	audit := func(i int, e *corpus.Entry) Table3Row {
+		m := e.Matrix()
+		_, dec, err := tuner.Tune(m)
+		row := Table3Row{Number: i + 1, Name: e.Name}
+		if err != nil {
+			row.Prediction = "error: " + err.Error()
+			return row
+		}
+		if dec.PredictedOK {
+			row.Prediction = dec.Predicted.String()
+		} else {
+			row.Prediction = "confidence<TH"
+		}
+		if dec.UsedFallback {
+			var fs []string
+			for f := range dec.Measured {
+				fs = append(fs, f.String())
+			}
+			sort.Strings(fs)
+			row.Execution = ""
+			for i, f := range fs {
+				if i > 0 {
+					row.Execution += "+"
+				}
+				row.Execution += f
+			}
+		} else {
+			row.Execution = "-"
+		}
+		row.SmatChoice = dec.Chosen
+		row.BestFormat = labeler.Label(m).Best
+		row.Right = row.SmatChoice == row.BestFormat
+		row.Overhead = dec.Overhead()
+		if dec.UsedFallback {
+			fbSum += row.Overhead
+			fbN++
+		} else {
+			predSum += row.Overhead
+			predN++
+		}
+		return row
+	}
+
+	for i, e := range corpus.Representatives(cfg.Scale) {
+		res.Rows = append(res.Rows, audit(i, e))
+	}
+
+	// Aggregate accuracy over the evaluation split.
+	c := corpus.New(cfg.Scale, cfg.Seed)
+	_, eval := c.Split(len(c.Entries)*6/7, cfg.Seed)
+	right := 0
+	for i, e := range eval {
+		if cfg.Stride > 1 && i%cfg.Stride != 0 {
+			continue
+		}
+		m := e.Matrix()
+		_, dec, err := tuner.Tune(m)
+		if err != nil {
+			continue
+		}
+		if dec.UsedFallback {
+			fbSum += dec.Overhead()
+			fbN++
+		} else {
+			predSum += dec.Overhead()
+			predN++
+		}
+		if dec.Chosen == labeler.Label(m).Best {
+			right++
+		}
+		res.EvalN++
+	}
+	if res.EvalN > 0 {
+		res.EvalAccuracy = float64(right) / float64(res.EvalN)
+	}
+	if predN > 0 {
+		res.MeanOverheadPredicted = predSum / float64(predN)
+	}
+	if fbN > 0 {
+		res.MeanOverheadFallback = fbSum / float64(fbN)
+	}
+
+	t := &table{header: []string{"No.", "Matrix", "Model Prediction", "Execution", "SMAT", "Best", "Acc", "Overhead"}}
+	for _, row := range res.Rows {
+		acc := "W"
+		if row.Right {
+			acc = "R"
+		}
+		t.add(fmt.Sprint(row.Number), row.Name, row.Prediction, row.Execution,
+			row.SmatChoice.String(), row.BestFormat.String(), acc, f2(row.Overhead))
+	}
+	fmt.Fprintln(cfg.Out, "Table 3: SMAT decision analysis (overhead in CSR-SpMV multiples)")
+	t.print(cfg.Out)
+	t.saveTSV(cfg, "table3")
+	fmt.Fprintf(cfg.Out, "evaluation-set accuracy: %.1f%% over %d matrices\n", 100*res.EvalAccuracy, res.EvalN)
+	fmt.Fprintf(cfg.Out, "mean overhead: predicted path %.1fx, fallback path %.1fx\n",
+		res.MeanOverheadPredicted, res.MeanOverheadFallback)
+	return res
+}

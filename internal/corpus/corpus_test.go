@@ -1,0 +1,201 @@
+package corpus
+
+import (
+	"testing"
+
+	"smat/internal/features"
+)
+
+func TestRosterShape(t *testing.T) {
+	c := New(1, 1000)
+	if len(c.Entries) < 2300 {
+		t.Fatalf("corpus has %d entries, want ≥2300 (paper: 2386)", len(c.Entries))
+	}
+	domains := c.Domains()
+	if len(domains) < 20 {
+		t.Errorf("corpus covers %d domains, want >20 (paper: Table 1)", len(domains))
+	}
+	counts := map[string]int{}
+	for _, e := range c.Entries {
+		counts[e.Domain]++
+	}
+	// Spot-check the Table 1 counts.
+	want := map[string]int{
+		"graph":              334,
+		"linear programming": 327,
+		"structural":         277,
+		"robotics":           3,
+	}
+	for d, n := range want {
+		if counts[d] != n {
+			t.Errorf("domain %q has %d entries, want %d", d, counts[d], n)
+		}
+	}
+}
+
+func TestEntriesDeterministic(t *testing.T) {
+	c1 := New(0.05, 1000)
+	c2 := New(0.05, 1000)
+	for _, i := range []int{0, 500, 1200, 2000} {
+		a := c1.Entries[i].Matrix()
+		b := c2.Entries[i].Matrix()
+		if !a.Equal(b) {
+			t.Errorf("entry %d (%s) not deterministic", i, c1.Entries[i].Name)
+		}
+	}
+}
+
+func TestEntryNamesUnique(t *testing.T) {
+	c := New(1, 1000)
+	seen := map[string]bool{}
+	for _, e := range c.Entries {
+		if seen[e.Name] {
+			t.Fatalf("duplicate entry name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestSampledEntriesAreValid(t *testing.T) {
+	c := New(0.03, 1000)
+	for _, e := range c.Sample(97) {
+		m := e.Matrix()
+		if err := m.Validate(); err != nil {
+			t.Errorf("entry %s invalid: %v", e.Name, err)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("entry %s is empty", e.Name)
+		}
+	}
+}
+
+func TestCorpusSweepsFeatureSpace(t *testing.T) {
+	// The corpus must contain matrices across the paper's structural axes:
+	// diagonal-perfect, ELL-perfect, scale-free, and irregular.
+	c := New(0.05, 1000)
+	var sawTrueDiag, sawPerfectELL, sawScaleFree, sawIrregular bool
+	for _, e := range c.Sample(13) {
+		f := features.Extract(e.Matrix())
+		if f.NTdiagsRatio > 0.95 && f.Ndiags <= 40 {
+			sawTrueDiag = true
+		}
+		if f.ERELL > 0.999 && f.Ndiags > 40 {
+			sawPerfectELL = true
+		}
+		if f.R != features.RNone && f.R > 0.5 {
+			sawScaleFree = true
+		}
+		if f.VarRD > 10*f.AverRD {
+			sawIrregular = true
+		}
+	}
+	if !sawTrueDiag {
+		t.Error("no diagonal-dominant matrix in sample")
+	}
+	if !sawPerfectELL {
+		t.Error("no ELL-perfect matrix in sample")
+	}
+	if !sawScaleFree {
+		t.Error("no scale-free matrix in sample")
+	}
+	if !sawIrregular {
+		t.Error("no irregular matrix in sample")
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	c := New(1, 1000)
+	train, eval := c.Split(2055, 42)
+	if len(train) != 2055 {
+		t.Fatalf("train size %d, want 2055", len(train))
+	}
+	if len(train)+len(eval) != len(c.Entries) {
+		t.Fatalf("split sizes %d+%d != %d", len(train), len(eval), len(c.Entries))
+	}
+	inTrain := map[string]bool{}
+	for _, e := range train {
+		inTrain[e.Name] = true
+	}
+	for _, e := range eval {
+		if inTrain[e.Name] {
+			t.Fatalf("entry %s in both splits", e.Name)
+		}
+	}
+	// Deterministic for the same seed.
+	train2, _ := c.Split(2055, 42)
+	for i := range train {
+		if train[i].Name != train2[i].Name {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	reps := Representatives(0.05)
+	if len(reps) != 16 {
+		t.Fatalf("%d representatives, want 16", len(reps))
+	}
+	wantNames := []string{"pcrystk02", "denormal", "cryg10000", "apache1",
+		"bfly", "whitaker3_dual", "ch7-9-b3", "shar_te2-b2",
+		"pkustk14", "crankseg_2", "Ga3As3H12", "HV15R",
+		"europe_osm", "D6-6", "dictionary28", "roadNet-CA"}
+	for i, e := range reps {
+		if e.Name != wantNames[i] {
+			t.Errorf("representative %d = %q, want %q", i, e.Name, wantNames[i])
+		}
+		m := e.Matrix()
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", e.Name, err)
+		}
+	}
+	// Structural classes: 1-4 diagonal-heavy, 5-8 regular rows.
+	for i := 0; i < 4; i++ {
+		f := features.Extract(reps[i].Matrix())
+		if f.NTdiagsRatio < 0.5 {
+			t.Errorf("%s: NTdiags_ratio = %g, want diagonal-dominant", reps[i].Name, f.NTdiagsRatio)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		f := features.Extract(reps[i].Matrix())
+		if f.ERELL < 0.9 {
+			t.Errorf("%s: ER_ELL = %g, want ≥0.9 (regular rows)", reps[i].Name, f.ERELL)
+		}
+	}
+}
+
+func TestEveryDomainBuilds(t *testing.T) {
+	// Instantiate several entries of every domain (different seeds exercise
+	// the random branches inside each domain builder).
+	c := New(0.02, 555)
+	perDomain := map[string]int{}
+	for _, e := range c.Entries {
+		if perDomain[e.Domain] >= 4 {
+			continue
+		}
+		perDomain[e.Domain]++
+		m := e.Matrix()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s (%s): %v", e.Name, e.Domain, err)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("%s (%s): empty matrix", e.Name, e.Domain)
+		}
+		f := features.Extract(m)
+		if f.AverRD <= 0 {
+			t.Errorf("%s: degenerate features %+v", e.Name, f)
+		}
+	}
+	if len(perDomain) < 20 {
+		t.Fatalf("only %d domains instantiated", len(perDomain))
+	}
+}
+
+func TestRepresentativesDeterministic(t *testing.T) {
+	a := Representatives(0.02)
+	b := Representatives(0.02)
+	for i := range a {
+		if !a[i].Matrix().Equal(b[i].Matrix()) {
+			t.Fatalf("representative %s not deterministic", a[i].Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+// Representatives returns synthetic analogues of the paper's 16
+// representative matrices (Figure 8), in the paper's order and with the
+// paper's structural classes: 1–4 diagonal-dominated (DIA territory), 5–8
+// regular low-degree (ELL), 9–12 heavy irregular (CSR), 13–16 graph/road
+// structures (COO). Dimensions are the paper's, shrunk by scale.
+func Representatives(scale float64) []*Entry {
+	mk := func(i int, name string, build BuildFunc) *Entry {
+		return &Entry{
+			Name:   name,
+			Domain: "representative",
+			Seed:   7000 + int64(i),
+			Scale:  scale,
+			build:  build,
+		}
+	}
+	return []*Entry{
+		// 1. pcrystk02: materials, 14K×14K, 35 nnz/row, dense diagonal band.
+		mk(1, "pcrystk02", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.MultiDiagonal[float64](sz(14000, s), band(17, 1), rng)
+		}),
+		// 2. denormal: counter-example, 89K×89K, 7 nnz/row, banded.
+		mk(2, "denormal", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.MultiDiagonal[float64](sz(30000, s), band(3, 1), rng)
+		}),
+		// 3. cryg10000: materials, 10K×10K, 5 nnz/row.
+		mk(3, "cryg10000", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.MultiDiagonal[float64](sz(10000, s), band(2, 1), rng)
+		}),
+		// 4. apache1: structural 3D stencil, 81K×81K, 4 nnz/row.
+		mk(4, "apache1", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			k := sz(30, s)
+			return gen.Laplacian3D7pt[float64](k, k, k)
+		}),
+		// 5. bfly: graph sequence, 49K×49K, constant 2 nnz/row.
+		mk(5, "bfly", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.ConstantDegree[float64](sz(49000, s), 2, rng)
+		}),
+		// 6. whitaker3_dual: 2D/3D mesh dual, 19K×19K, constant 3 nnz/row.
+		mk(6, "whitaker3_dual", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.ConstantDegree[float64](sz(19000, s), 3, rng)
+		}),
+		// 7. ch7-9-b3: combinatorial incidence, 106K×18K, 4 nnz/row.
+		mk(7, "ch7-9-b3", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.BipartiteIncidence[float64](sz(106000, s), sz(18000, s), 4, rng)
+		}),
+		// 8. shar_te2-b2: combinatorial incidence, 200K×17K, 3 nnz/row.
+		mk(8, "shar_te2-b2", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.BipartiteIncidence[float64](sz(200000, s), sz(17000, s), 3, rng)
+		}),
+		// 9. pkustk14: structural, 152K×152K, 98 nnz/row, irregular heavy.
+		mk(9, "pkustk14", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RandomUniform[float64](sz(15000, s), sz(15000, s), 70, rng)
+		}),
+		// 10. crankseg_2: structural, 64K×64K, 222 nnz/row.
+		mk(10, "crankseg_2", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RandomUniform[float64](sz(8000, s), sz(8000, s), 150, rng)
+		}),
+		// 11. Ga3As3H12: quantum chemistry, 61K×61K, 97 nnz/row.
+		mk(11, "Ga3As3H12", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RandomUniform[float64](sz(12000, s), sz(12000, s), 60, rng)
+		}),
+		// 12. HV15R: CFD, 2M×2M, 140 nnz/row (shrunk hard).
+		mk(12, "HV15R", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RandomUniform[float64](sz(25000, s), sz(25000, s), 90, rng)
+		}),
+		// 13. europe_osm: road network, 51M×51M, 2 nnz/row (shrunk hard).
+		mk(13, "europe_osm", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RoadNetwork[float64](sz(120000, s), rng)
+		}),
+		// 14. D6-6: combinatorial, 121K×24K, ~1 nnz/row.
+		mk(14, "D6-6", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RandomUniform[float64](sz(121000, s), sz(24000, s), 1.2, rng)
+		}),
+		// 15. dictionary28: word graph, 53K×53K, 3 nnz/row, power-law.
+		mk(15, "dictionary28", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.PreferentialAttachment[float64](sz(26000, s), 2, rng)
+		}),
+		// 16. roadNet-CA: road network, 2M×2M, 3 nnz/row (shrunk).
+		mk(16, "roadNet-CA", func(rng *rand.Rand, s float64) *matrix.CSR[float64] {
+			return gen.RoadNetwork[float64](sz(150000, s), rng)
+		}),
+	}
+}

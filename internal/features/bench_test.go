@@ -1,0 +1,41 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"smat/internal/matrix"
+)
+
+// BenchmarkExtract measures feature extraction, the dominant component of
+// SMAT's predicted-path decision overhead (Table 3).
+func BenchmarkExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var ts []matrix.Triple[float64]
+	n := 20000
+	for r := 0; r < n; r++ {
+		for d := 0; d < 8; d++ {
+			ts = append(ts, matrix.Triple[float64]{Row: r, Col: rng.Intn(n), Val: 1})
+		}
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Extract(m)
+	}
+}
+
+func BenchmarkPowerLawExponent(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	degrees := make([]int, 100000)
+	for i := range degrees {
+		degrees[i] = 1 + rng.Intn(200)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PowerLawExponent(degrees)
+	}
+}

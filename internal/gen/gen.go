@@ -1,0 +1,289 @@
+// Package gen builds synthetic sparse matrices whose structural features
+// sweep the same axes as the paper's UF-collection training set: diagonal
+// stencils (DIA territory), regular constant-degree matrices (ELL),
+// power-law graphs (COO), and irregular general matrices (CSR). The corpus
+// package composes these generators into the full training/evaluation
+// collection.
+package gen
+
+import (
+	"math/rand"
+
+	"smat/internal/matrix"
+)
+
+// value returns a random nonzero value in [0.5, 1.5); positive values avoid
+// accidental cancellation when random generators emit duplicate coordinates.
+func value[T matrix.Float](rng *rand.Rand) T {
+	return T(0.5 + rng.Float64())
+}
+
+// Laplacian2D5pt returns the 5-point finite-difference Laplacian on an
+// nx×ny grid: the classic DIA-friendly stencil matrix.
+func Laplacian2D5pt[T matrix.Float](nx, ny int) *matrix.CSR[T] {
+	return stencil2D[T](nx, ny, [][2]int{
+		{0, -1}, {-1, 0}, {0, 0}, {1, 0}, {0, 1},
+	}, func(di, dj int) T {
+		if di == 0 && dj == 0 {
+			return 4
+		}
+		return -1
+	})
+}
+
+// Laplacian2D9pt returns the 9-point Laplacian on an nx×ny grid (the paper's
+// "rugeL 9pt" AMG input).
+func Laplacian2D9pt[T matrix.Float](nx, ny int) *matrix.CSR[T] {
+	offsets := [][2]int{
+		{-1, -1}, {0, -1}, {1, -1},
+		{-1, 0}, {0, 0}, {1, 0},
+		{-1, 1}, {0, 1}, {1, 1},
+	}
+	return stencil2D[T](nx, ny, offsets, func(di, dj int) T {
+		if di == 0 && dj == 0 {
+			return 8
+		}
+		return -1
+	})
+}
+
+// stencil2D assembles a 2D stencil matrix with natural (row-major) grid
+// ordering directly in sorted CSR order.
+func stencil2D[T matrix.Float](nx, ny int, offsets [][2]int, coeff func(di, dj int) T) *matrix.CSR[T] {
+	n := nx * ny
+	m := &matrix.CSR[T]{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			row := j*nx + i
+			for _, off := range offsets {
+				ni, nj := i+off[0], j+off[1]
+				if ni < 0 || ni >= nx || nj < 0 || nj >= ny {
+					continue
+				}
+				m.ColIdx = append(m.ColIdx, nj*nx+ni)
+				m.Vals = append(m.Vals, coeff(off[0], off[1]))
+			}
+			m.RowPtr[row+1] = len(m.Vals)
+		}
+	}
+	return m
+}
+
+// Laplacian3D7pt returns the 7-point Laplacian on an nx×ny×nz grid (the
+// paper's "cljp 7pt" AMG input).
+func Laplacian3D7pt[T matrix.Float](nx, ny, nz int) *matrix.CSR[T] {
+	n := nx * ny * nz
+	m := &matrix.CSR[T]{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	offsets := [][3]int{
+		{0, 0, -1}, {0, -1, 0}, {-1, 0, 0}, {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				row := (k*ny+j)*nx + i
+				for _, off := range offsets {
+					ni, nj, nk := i+off[0], j+off[1], k+off[2]
+					if ni < 0 || ni >= nx || nj < 0 || nj >= ny || nk < 0 || nk >= nz {
+						continue
+					}
+					var v T = -1
+					if off == ([3]int{0, 0, 0}) {
+						v = 6
+					}
+					m.ColIdx = append(m.ColIdx, (nk*ny+nj)*nx+ni)
+					m.Vals = append(m.Vals, v)
+				}
+				m.RowPtr[row+1] = len(m.Vals)
+			}
+		}
+	}
+	return m
+}
+
+// MultiDiagonal returns an n×n matrix with fully dense diagonals at the
+// given offsets: the ideal DIA matrix (NTdiags_ratio = 1).
+func MultiDiagonal[T matrix.Float](n int, offsets []int, rng *rand.Rand) *matrix.CSR[T] {
+	var ts []matrix.Triple[T]
+	for _, off := range offsets {
+		for r := 0; r < n; r++ {
+			c := r + off
+			if c >= 0 && c < n {
+				ts = append(ts, matrix.Triple[T]{Row: r, Col: c, Val: value[T](rng)})
+			}
+		}
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SparseDiagonal returns an n×n matrix with diagonals at the given offsets
+// where each diagonal position is occupied only with probability fill: a
+// DIA-shaped matrix with controllable zero padding (sweeps NTdiags_ratio and
+// ER_DIA).
+func SparseDiagonal[T matrix.Float](n int, offsets []int, fill float64, rng *rand.Rand) *matrix.CSR[T] {
+	var ts []matrix.Triple[T]
+	for _, off := range offsets {
+		for r := 0; r < n; r++ {
+			c := r + off
+			if c >= 0 && c < n && rng.Float64() < fill {
+				ts = append(ts, matrix.Triple[T]{Row: r, Col: c, Val: value[T](rng)})
+			}
+		}
+	}
+	// Guarantee a nonempty matrix.
+	ts = append(ts, matrix.Triple[T]{Row: 0, Col: 0, Val: 1})
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ConstantDegree returns an n×n matrix with exactly deg random distinct
+// columns per row: the ideal ELL matrix (ER_ELL = 1, var_RD = 0) with no
+// diagonal structure.
+func ConstantDegree[T matrix.Float](n, deg int, rng *rand.Rand) *matrix.CSR[T] {
+	if deg > n {
+		deg = n
+	}
+	m := &matrix.CSR[T]{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	cols := make([]int, 0, deg)
+	seen := make(map[int]bool, deg)
+	for r := 0; r < n; r++ {
+		cols = cols[:0]
+		clear(seen)
+		for len(cols) < deg {
+			c := rng.Intn(n)
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+		insertionSort(cols)
+		for _, c := range cols {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, value[T](rng))
+		}
+		m.RowPtr[r+1] = len(m.Vals)
+	}
+	return m
+}
+
+// NearConstantDegree is ConstantDegree with per-row degree jitter of ±jitter
+// (sweeps var_RD and ER_ELL just below the ideal).
+func NearConstantDegree[T matrix.Float](n, deg, jitter int, rng *rand.Rand) *matrix.CSR[T] {
+	m := &matrix.CSR[T]{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	cols := make([]int, 0, deg+jitter)
+	seen := make(map[int]bool)
+	for r := 0; r < n; r++ {
+		d := deg
+		if jitter > 0 {
+			d += rng.Intn(2*jitter+1) - jitter
+		}
+		if d < 1 {
+			d = 1
+		}
+		if d > n {
+			d = n
+		}
+		cols = cols[:0]
+		clear(seen)
+		for len(cols) < d {
+			c := rng.Intn(n)
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+		insertionSort(cols)
+		for _, c := range cols {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, value[T](rng))
+		}
+		m.RowPtr[r+1] = len(m.Vals)
+	}
+	return m
+}
+
+// RandomUniform returns a rows×cols matrix where every position is occupied
+// independently with the probability that yields ≈nnzPerRow nonzeros per row
+// on average: an irregular, unstructured (CSR-leaning) matrix.
+func RandomUniform[T matrix.Float](rows, cols int, nnzPerRow float64, rng *rand.Rand) *matrix.CSR[T] {
+	m := &matrix.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for r := 0; r < rows; r++ {
+		// Draw the row degree from a geometric-ish mixture for irregularity.
+		d := int(nnzPerRow * (0.25 + 1.5*rng.Float64()))
+		if rng.Float64() < 0.05 {
+			d *= 4 // occasional heavy row
+		}
+		if d < 1 {
+			d = 1
+		}
+		if d > cols {
+			d = cols
+		}
+		cols2 := sampleDistinct(cols, d, rng)
+		for _, c := range cols2 {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, value[T](rng))
+		}
+		m.RowPtr[r+1] = len(m.Vals)
+	}
+	return m
+}
+
+// BlockDiagonal returns a matrix of nBlocks dense blockSize×blockSize blocks
+// along the diagonal (circuit/chemistry-like local coupling).
+func BlockDiagonal[T matrix.Float](nBlocks, blockSize int, rng *rand.Rand) *matrix.CSR[T] {
+	n := nBlocks * blockSize
+	m := &matrix.CSR[T]{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for b := 0; b < nBlocks; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			for j := 0; j < blockSize; j++ {
+				m.ColIdx = append(m.ColIdx, base+j)
+				m.Vals = append(m.Vals, value[T](rng))
+			}
+			m.RowPtr[base+i+1] = len(m.Vals)
+		}
+	}
+	return m
+}
+
+// insertionSort sorts a small int slice in place.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// sampleDistinct draws k distinct values from [0, n) and returns them sorted.
+func sampleDistinct(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		c := rng.Intn(n)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	insertionSort(out)
+	return out
+}

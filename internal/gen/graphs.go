@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"math/rand"
+
+	"smat/internal/matrix"
+)
+
+// PreferentialAttachment returns the adjacency matrix of an undirected
+// Barabási–Albert graph on n nodes where each arriving node attaches
+// edgesPerNode edges to existing nodes with probability proportional to
+// their degree. The resulting degree distribution is power-law (exponent ≈3),
+// the small-world structure the paper associates with COO affinity.
+func PreferentialAttachment[T matrix.Float](n, edgesPerNode int, rng *rand.Rand) *matrix.CSR[T] {
+	if edgesPerNode < 1 {
+		edgesPerNode = 1
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	// repeated holds one entry per half-edge: sampling an index uniformly
+	// samples a node with probability proportional to its degree.
+	var repeated []int
+	seed := edgesPerNode + 1
+	if seed > n {
+		seed = n
+	}
+	// Seed clique.
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			edges = append(edges, edge{i, j})
+			repeated = append(repeated, i, j)
+		}
+	}
+	for v := seed; v < n; v++ {
+		attached := map[int]bool{}
+		for len(attached) < edgesPerNode {
+			var u int
+			if len(repeated) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = repeated[rng.Intn(len(repeated))]
+			}
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			edges = append(edges, edge{v, u})
+			repeated = append(repeated, v, u)
+		}
+	}
+	var ts []matrix.Triple[T]
+	for _, e := range edges {
+		v := value[T](rng)
+		ts = append(ts, matrix.Triple[T]{Row: e.a, Col: e.b, Val: v})
+		ts = append(ts, matrix.Triple[T]{Row: e.b, Col: e.a, Val: v})
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RMAT returns the adjacency matrix of a recursive-matrix (R-MAT) graph with
+// 2^scale nodes and ≈edgeFactor·2^scale directed edges using the standard
+// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) quadrant probabilities. R-MAT
+// graphs have skewed, power-law-like degree distributions (web/social
+// graphs).
+func RMAT[T matrix.Float](scale, edgeFactor int, rng *rand.Rand) *matrix.CSR[T] {
+	n := 1 << scale
+	nEdges := edgeFactor * n
+	const a, b, c = 0.57, 0.19, 0.19
+	var ts []matrix.Triple[T]
+	for e := 0; e < nEdges; e++ {
+		row, col := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			p := rng.Float64()
+			switch {
+			case p < a:
+				// top-left: nothing to add
+			case p < a+b:
+				col += bit
+			case p < a+b+c:
+				row += bit
+			default:
+				row += bit
+				col += bit
+			}
+		}
+		ts = append(ts, matrix.Triple[T]{Row: row, Col: col, Val: value[T](rng)})
+	}
+	// Guarantee no empty matrix even for tiny scales.
+	ts = append(ts, matrix.Triple[T]{Row: 0, Col: 0, Val: 1})
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RoadNetwork returns the adjacency matrix of a degree-bounded random planar-
+// ish graph: nodes connect to a handful of near neighbours by index, the
+// structure of road networks (very low, nearly uniform degree, huge
+// diameter) such as the paper's roadNet-CA and europe_osm representatives.
+func RoadNetwork[T matrix.Float](n int, rng *rand.Rand) *matrix.CSR[T] {
+	var ts []matrix.Triple[T]
+	for v := 0; v < n; v++ {
+		deg := 1 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			// Neighbours are close in index, as in a geometric embedding.
+			off := 1 + rng.Intn(8)
+			u := v + off
+			if u >= n {
+				u = v - off
+			}
+			if u < 0 || u == v {
+				continue
+			}
+			val := value[T](rng)
+			ts = append(ts, matrix.Triple[T]{Row: v, Col: u, Val: val})
+			ts = append(ts, matrix.Triple[T]{Row: u, Col: v, Val: val})
+		}
+	}
+	ts = append(ts, matrix.Triple[T]{Row: 0, Col: 0, Val: 1})
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BipartiteIncidence returns a rows×cols incidence-like matrix with a fixed
+// small number of entries per row at random columns (the paper's
+// combinatorial matrices such as ch7-9-b3 and shar_te2-b2 are of this kind:
+// rectangular, constant row degree).
+func BipartiteIncidence[T matrix.Float](rows, cols, deg int, rng *rand.Rand) *matrix.CSR[T] {
+	m := &matrix.CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for r := 0; r < rows; r++ {
+		for _, c := range sampleDistinct(cols, deg, rng) {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, value[T](rng))
+		}
+		m.RowPtr[r+1] = len(m.Vals)
+	}
+	return m
+}
+
+// KroneckerGraph returns the power-th Kronecker power of a random small
+// initiator adjacency matrix: a deterministic self-similar graph in the
+// Graph500 style, with heavily skewed degrees (another occupant of the
+// paper's COO territory).
+func KroneckerGraph[T matrix.Float](initiatorSize, power int, rng *rand.Rand) *matrix.CSR[T] {
+	var ts []matrix.Triple[T]
+	for r := 0; r < initiatorSize; r++ {
+		for c := 0; c < initiatorSize; c++ {
+			// Dense-ish initiator with self-loops keeps the product connected.
+			if r == c || rng.Float64() < 0.5 {
+				ts = append(ts, matrix.Triple[T]{Row: r, Col: c, Val: value[T](rng)})
+			}
+		}
+	}
+	g, err := matrix.FromTriples(initiatorSize, initiatorSize, ts)
+	if err != nil {
+		panic(err)
+	}
+	out := g
+	for p := 1; p < power; p++ {
+		out = matrix.Kron(out, g)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// BCSR kernels: the register-blocking extension format. The generic kernel
+// handles any block size; the specialised kernel dispatches fully-unrolled
+// bodies for the common square blocks (the scalar analogue of OSKI's
+// register-blocked code variants).
+
+// bcsrGenericRange computes block rows [lo, hi).
+func bcsrGenericRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
+	br, bc := m.BR, m.BC
+	sums := make([]T, br)
+	for bi := lo; bi < hi; bi++ {
+		clear(sums)
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			baseCol := m.ColIdx[s] * bc
+			blk := m.Blocks[s*br*bc : (s+1)*br*bc]
+			// The last block column may be padded past Cols; padding holds
+			// zeros, but x must not be read out of range.
+			width := bc
+			if baseCol+width > m.Cols {
+				width = m.Cols - baseCol
+			}
+			for lr := 0; lr < br; lr++ {
+				var sum T
+				row := blk[lr*bc:]
+				for lc := 0; lc < width; lc++ {
+					sum += row[lc] * x[baseCol+lc]
+				}
+				sums[lr] += sum
+			}
+		}
+		baseRow := bi * br
+		height := br
+		if baseRow+height > m.Rows {
+			height = m.Rows - baseRow
+		}
+		copy(y[baseRow:baseRow+height], sums[:height])
+	}
+}
+
+// bcsr2x2Range is the fully unrolled 2×2 body.
+func bcsr2x2Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		var s0, s1 T
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			c := m.ColIdx[s] * 2
+			blk := m.Blocks[s*4 : s*4+4]
+			if c+1 < m.Cols {
+				x0, x1 := x[c], x[c+1]
+				s0 += blk[0]*x0 + blk[1]*x1
+				s1 += blk[2]*x0 + blk[3]*x1
+			} else {
+				x0 := x[c]
+				s0 += blk[0] * x0
+				s1 += blk[2] * x0
+			}
+		}
+		r := bi * 2
+		y[r] = s0
+		if r+1 < m.Rows {
+			y[r+1] = s1
+		}
+	}
+}
+
+// bcsr4x4Range is the fully unrolled 4×4 body for interior block columns,
+// falling back to bounded loops on the (single) ragged edge block.
+func bcsr4x4Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		var s0, s1, s2, s3 T
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			c := m.ColIdx[s] * 4
+			blk := m.Blocks[s*16 : s*16+16]
+			if c+3 < m.Cols {
+				x0, x1, x2, x3 := x[c], x[c+1], x[c+2], x[c+3]
+				s0 += blk[0]*x0 + blk[1]*x1 + blk[2]*x2 + blk[3]*x3
+				s1 += blk[4]*x0 + blk[5]*x1 + blk[6]*x2 + blk[7]*x3
+				s2 += blk[8]*x0 + blk[9]*x1 + blk[10]*x2 + blk[11]*x3
+				s3 += blk[12]*x0 + blk[13]*x1 + blk[14]*x2 + blk[15]*x3
+			} else {
+				for lc := 0; c+lc < m.Cols; lc++ {
+					xv := x[c+lc]
+					s0 += blk[lc] * xv
+					s1 += blk[4+lc] * xv
+					s2 += blk[8+lc] * xv
+					s3 += blk[12+lc] * xv
+				}
+			}
+		}
+		r := bi * 4
+		sums := [4]T{s0, s1, s2, s3}
+		for lr := 0; lr < 4 && r+lr < m.Rows; lr++ {
+			y[r+lr] = sums[lr]
+		}
+	}
+}
+
+// bcsrDispatchRange picks the specialised body when one exists.
+func bcsrDispatchRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
+	switch {
+	case m.BR == 2 && m.BC == 2:
+		bcsr2x2Range(m, x, y, lo, hi)
+	case m.BR == 4 && m.BC == 4:
+		bcsr4x4Range(m, x, y, lo, hi)
+	default:
+		bcsrGenericRange(m, x, y, lo, hi)
+	}
+}
+
+func runBCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	bcsrGenericRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
+}
+
+func runBCSRBlockSpec[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	bcsrDispatchRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
+}
+
+func runBCSRBlockSpecParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	parallelRanges(threads, m.BCSR.BlockRows(), func(lo, hi int) {
+		bcsrDispatchRange(m.BCSR, x, y, lo, hi)
+	})
+}
+
+// bcsrKernels returns the extension kernels (opt-in via RegisterBCSR).
+func bcsrKernels[T matrix.Float]() []*Kernel[T] {
+	return []*Kernel[T]{
+		{Name: "bcsr_basic", Format: matrix.FormatBCSR, Strategies: 0, run: runBCSRBasic[T]},
+		{Name: "bcsr_blockspec", Format: matrix.FormatBCSR, Strategies: StratWidthSpec, run: runBCSRBlockSpec[T]},
+		{Name: "bcsr_blockspec_parallel", Format: matrix.FormatBCSR, Strategies: StratWidthSpec | StratParallel, run: runBCSRBlockSpecParallel[T]},
+	}
+}
+
+// RegisterBCSR adds the blocked-CSR kernels to the library.
+func (l *Library[T]) RegisterBCSR() {
+	for _, k := range bcsrKernels[T]() {
+		l.Register(k)
+	}
+}

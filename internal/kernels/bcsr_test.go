@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smat/internal/matrix"
+)
+
+func TestBCSRKernelsMatchDenseReferenceProperty(t *testing.T) {
+	lib := NewLibrary[float64]()
+	lib.RegisterBCSR()
+	kernels := lib.ForFormat(matrix.FormatBCSR)
+	if len(kernels) != 3 {
+		t.Fatalf("%d BCSR kernels, want 3", len(kernels))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		m := randCSR(rng, rows, cols, 0.05+rng.Float64()*0.4)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		m.ToDense().MulVec(x, want)
+		// Exercise the generic body and both specialised bodies.
+		for _, bs := range [][2]int{{2, 2}, {4, 4}, {3, 5}} {
+			b, err := m.ToBCSR(bs[0], bs[1], 0)
+			if err != nil {
+				return false
+			}
+			mat := &Mat[float64]{Format: matrix.FormatBCSR, BCSR: b}
+			for _, k := range kernels {
+				y := make([]float64, rows)
+				k.Run(mat, x, y, 3)
+				if !matrix.VecApproxEqual(y, want, 1e-9) {
+					t.Logf("kernel %s (%dx%d blocks) mismatch (seed %d)", k.Name, bs[0], bs[1], seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCSRConvertAutoBlockSize(t *testing.T) {
+	// A 2x2-block structured matrix: Convert with auto selection.
+	rng := rand.New(rand.NewSource(5))
+	var ts []matrix.Triple[float64]
+	for b := 0; b < 100; b++ {
+		bi, bj := rng.Intn(50), rng.Intn(50)
+		for lr := 0; lr < 2; lr++ {
+			for lc := 0; lc < 2; lc++ {
+				ts = append(ts, matrix.Triple[float64]{Row: bi*2 + lr, Col: bj*2 + lc, Val: 1})
+			}
+		}
+	}
+	m, err := matrix.FromTriples(100, 100, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Convert(m, matrix.FormatBCSR, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.BCSR.BR < 2 || mat.BCSR.BC < 2 {
+		t.Errorf("auto block size %dx%d, want ≥2x2", mat.BCSR.BR, mat.BCSR.BC)
+	}
+	r, c := mat.Dims()
+	if r != 100 || c != 100 {
+		t.Errorf("Dims = %dx%d", r, c)
+	}
+}
+
+func TestBCSRKernelsLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var ts []matrix.Triple[float64]
+	n := 6000
+	for b := 0; b < 8000; b++ {
+		bi, bj := rng.Intn(n/4), rng.Intn(n/4)
+		for lr := 0; lr < 4; lr++ {
+			for lc := 0; lc < 4; lc++ {
+				ts = append(ts, matrix.Triple[float64]{Row: bi*4 + lr, Col: bj*4 + lc, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ToBCSR(4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := &Mat[float64]{Format: matrix.FormatBCSR, BCSR: b}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	csrMat := &Mat[float64]{Format: matrix.FormatCSR, CSR: m}
+	NewLibrary[float64]().Basic(matrix.FormatCSR).Run(csrMat, x, want, 1)
+	lib := NewLibrary[float64]()
+	lib.RegisterBCSR()
+	for _, threads := range []int{1, 4} {
+		for _, k := range lib.ForFormat(matrix.FormatBCSR) {
+			y := make([]float64, n)
+			k.Run(mat, x, y, threads)
+			if !matrix.VecApproxEqual(y, want, 1e-9) {
+				t.Errorf("kernel %s (threads=%d) wrong result", k.Name, threads)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// cooRange accumulates entries [lo, hi) into y: the paper's Figure 2(b) loop.
+// Callers must have zeroed the affected rows of y.
+func cooRange[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
+	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		y[rows[i]] += vals[i] * x[cols[i]]
+	}
+}
+
+// cooRangeUnroll4 is cooRange unrolled by four. Entries are row-sorted, so
+// consecutive entries may hit the same y element; the unrolled body keeps the
+// read-modify-write order per element by accumulating through memory exactly
+// as the scalar loop does (only the index arithmetic is unrolled).
+func cooRangeUnroll4[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
+	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		y[rows[i]] += vals[i] * x[cols[i]]
+		y[rows[i+1]] += vals[i+1] * x[cols[i+1]]
+		y[rows[i+2]] += vals[i+2] * x[cols[i+2]]
+		y[rows[i+3]] += vals[i+3] * x[cols[i+3]]
+	}
+	for ; i < hi; i++ {
+		y[rows[i]] += vals[i] * x[cols[i]]
+	}
+}
+
+func runCOOBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	clear(y)
+	cooRange(m.COO, x, y, 0, m.COO.NNZ())
+}
+
+func runCOOUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	clear(y)
+	cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
+}
+
+// cooBounds splits the entry range into roughly nnz-balanced chunks whose
+// boundaries fall on row boundaries, so concurrent chunks never write the
+// same y element.
+func cooBounds[T matrix.Float](m *matrix.COO[T], threads int) []int {
+	nnz := m.NNZ()
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := []int{0}
+	for t := 1; t < threads; t++ {
+		b := nnz * t / threads
+		if b <= bounds[len(bounds)-1] {
+			continue
+		}
+		// Advance to the next row boundary.
+		for b < nnz && m.RowIdx[b] == m.RowIdx[b-1] {
+			b++
+		}
+		if b > bounds[len(bounds)-1] && b < nnz {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, nnz)
+	return bounds
+}
+
+func runCOOParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	clear(y)
+	if m.COO.NNZ() < 2048 {
+		cooRange(m.COO, x, y, 0, m.COO.NNZ())
+		return
+	}
+	parallelBounds(cooBounds(m.COO, threads), func(lo, hi int) {
+		cooRange(m.COO, x, y, lo, hi)
+	})
+}
+
+func runCOOParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	clear(y)
+	if m.COO.NNZ() < 2048 {
+		cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
+		return
+	}
+	parallelBounds(cooBounds(m.COO, threads), func(lo, hi int) {
+		cooRangeUnroll4(m.COO, x, y, lo, hi)
+	})
+}

@@ -1,0 +1,78 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// csrRowRange computes y for rows [lo, hi): the paper's Figure 2(a) loop.
+func csrRowRange[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		var sum T
+		for jj := rowPtr[i]; jj < rowPtr[i+1]; jj++ {
+			sum += x[colIdx[jj]] * vals[jj]
+		}
+		y[i] = sum
+	}
+}
+
+// csrRowRangeUnroll4 is csrRowRange with the inner product unrolled by four,
+// accumulating into independent partial sums to break the dependence chain.
+func csrRowRangeUnroll4[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		var s0, s1, s2, s3 T
+		jj := start
+		for ; jj+4 <= end; jj += 4 {
+			s0 += x[colIdx[jj]] * vals[jj]
+			s1 += x[colIdx[jj+1]] * vals[jj+1]
+			s2 += x[colIdx[jj+2]] * vals[jj+2]
+			s3 += x[colIdx[jj+3]] * vals[jj+3]
+		}
+		for ; jj < end; jj++ {
+			s0 += x[colIdx[jj]] * vals[jj]
+		}
+		y[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+func runCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
+}
+
+func runCSRUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
+}
+
+func runCSRParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	parallelRanges(threads, m.CSR.Rows, func(lo, hi int) {
+		csrRowRange(m.CSR, x, y, lo, hi)
+	})
+}
+
+func runCSRParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	parallelRanges(threads, m.CSR.Rows, func(lo, hi int) {
+		csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
+	})
+}
+
+func runCSRParallelNNZ[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	if m.CSR.Rows < 2048 {
+		csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
+		return
+	}
+	bounds := nnzBalancedRowBounds(m.CSR.RowPtr, threads)
+	parallelBounds(bounds, func(lo, hi int) {
+		csrRowRange(m.CSR, x, y, lo, hi)
+	})
+}
+
+func runCSRParallelNNZUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	if m.CSR.Rows < 2048 {
+		csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
+		return
+	}
+	bounds := nnzBalancedRowBounds(m.CSR.RowPtr, threads)
+	parallelBounds(bounds, func(lo, hi int) {
+		csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
+	})
+}

@@ -1,0 +1,85 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// runELLBasic is the paper's Figure 2(d) loop: column(slot)-major traversal
+// of the packed dense matrix. Padding slots carry value 0 and contribute
+// nothing.
+func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	e := m.ELL
+	clear(y)
+	for n := 0; n < e.Width; n++ {
+		data := e.Data[n*e.Rows : (n+1)*e.Rows]
+		idx := e.ColIdx[n*e.Rows : (n+1)*e.Rows]
+		for i := 0; i < e.Rows; i++ {
+			y[i] += data[i] * x[idx[i]]
+		}
+	}
+}
+
+// runELLUnroll4 unrolls the slot-major row loop by four.
+func runELLUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	e := m.ELL
+	clear(y)
+	for n := 0; n < e.Width; n++ {
+		data := e.Data[n*e.Rows : (n+1)*e.Rows]
+		idx := e.ColIdx[n*e.Rows : (n+1)*e.Rows]
+		i := 0
+		for ; i+4 <= e.Rows; i += 4 {
+			y[i] += data[i] * x[idx[i]]
+			y[i+1] += data[i+1] * x[idx[i+1]]
+			y[i+2] += data[i+2] * x[idx[i+2]]
+			y[i+3] += data[i+3] * x[idx[i+3]]
+		}
+		for ; i < e.Rows; i++ {
+			y[i] += data[i] * x[idx[i]]
+		}
+	}
+}
+
+// ellRowRange computes rows [lo, hi) row-major: one pass over each row's
+// slots, writing y once per row.
+func ellRowRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		var sum T
+		for n := 0; n < e.Width; n++ {
+			sum += e.Data[n*e.Rows+r] * x[e.ColIdx[n*e.Rows+r]]
+		}
+		y[r] = sum
+	}
+}
+
+// ellRowRangeUnroll4 unrolls the slot loop by four within each row.
+func ellRowRangeUnroll4[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
+	w, rows := e.Width, e.Rows
+	for r := lo; r < hi; r++ {
+		var s0, s1, s2, s3 T
+		n := 0
+		for ; n+4 <= w; n += 4 {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+			s1 += e.Data[(n+1)*rows+r] * x[e.ColIdx[(n+1)*rows+r]]
+			s2 += e.Data[(n+2)*rows+r] * x[e.ColIdx[(n+2)*rows+r]]
+			s3 += e.Data[(n+3)*rows+r] * x[e.ColIdx[(n+3)*rows+r]]
+		}
+		for ; n < w; n++ {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+		}
+		y[r] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+func runELLRowMajor[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	ellRowRange(m.ELL, x, y, 0, m.ELL.Rows)
+}
+
+func runELLParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	parallelRanges(threads, m.ELL.Rows, func(lo, hi int) {
+		ellRowRange(m.ELL, x, y, lo, hi)
+	})
+}
+
+func runELLParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	parallelRanges(threads, m.ELL.Rows, func(lo, hi int) {
+		ellRowRangeUnroll4(m.ELL, x, y, lo, hi)
+	})
+}

@@ -1,0 +1,63 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// HYB kernels: the extension format (see matrix.FormatHYB). The ELL part is
+// computed with the existing ELL loops (writing y), then the COO overflow
+// accumulates on top. Registered in the library like every other kernel, so
+// the scoreboard search tunes HYB without further changes — the paper's
+// extensibility claim in action.
+
+func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	h := m.HYB
+	clear(y)
+	e := h.ELL
+	for n := 0; n < e.Width; n++ {
+		data := e.Data[n*e.Rows : (n+1)*e.Rows]
+		idx := e.ColIdx[n*e.Rows : (n+1)*e.Rows]
+		for i := 0; i < e.Rows; i++ {
+			y[i] += data[i] * x[idx[i]]
+		}
+	}
+	cooRange(h.COO, x, y, 0, h.COO.NNZ())
+}
+
+func runHYBWidth[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+	h := m.HYB
+	ellWidthRange(h.ELL, x, y, 0, h.ELL.Rows)
+	cooRange(h.COO, x, y, 0, h.COO.NNZ())
+}
+
+func runHYBWidthParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
+	h := m.HYB
+	parallelRanges(threads, h.ELL.Rows, func(lo, hi int) {
+		ellWidthRange(h.ELL, x, y, lo, hi)
+	})
+	// The COO tail accumulates after the ELL phase completes; chunks are
+	// row-aligned, so the parallel phase has no write conflicts either.
+	if h.COO.NNZ() < 2048 {
+		cooRange(h.COO, x, y, 0, h.COO.NNZ())
+		return
+	}
+	parallelBounds(cooBounds(h.COO, threads), func(lo, hi int) {
+		cooRange(h.COO, x, y, lo, hi)
+	})
+}
+
+// hybKernels returns the extension kernels. They are not part of
+// allKernels: callers opt in with Library.RegisterHYB (keeping the stock
+// four-format system identical to the paper's).
+func hybKernels[T matrix.Float]() []*Kernel[T] {
+	return []*Kernel[T]{
+		{Name: "hyb_basic", Format: matrix.FormatHYB, Strategies: 0, run: runHYBBasic[T]},
+		{Name: "hyb_width", Format: matrix.FormatHYB, Strategies: StratWidthSpec, run: runHYBWidth[T]},
+		{Name: "hyb_width_parallel", Format: matrix.FormatHYB, Strategies: StratWidthSpec | StratParallel, run: runHYBWidthParallel[T]},
+	}
+}
+
+// RegisterHYB adds the hybrid-format kernels to the library.
+func (l *Library[T]) RegisterHYB() {
+	for _, k := range hybKernels[T]() {
+		l.Register(k)
+	}
+}

@@ -1,0 +1,336 @@
+// Package kernels implements SMAT's kernel library: for each storage format,
+// a family of SpMV implementations assembled from optimization strategies
+// (loop unrolling, row-parallel execution, nonzero-balanced partitioning,
+// traversal order). The scoreboard search in internal/autotune picks the best
+// member per format for the host "architecture configuration" (thread count),
+// mirroring the paper's Section 5.2.
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smat/internal/matrix"
+)
+
+// Strategy is a bitmask of the optimization strategies a kernel uses. The
+// scoreboard algorithm scores strategies individually by comparing kernels
+// that differ in exactly one bit.
+type Strategy uint32
+
+const (
+	// StratParallel fans the computation out over OS threads.
+	StratParallel Strategy = 1 << iota
+	// StratUnroll4 unrolls the innermost loop by four.
+	StratUnroll4
+	// StratNNZBalance partitions work by equal nonzero count instead of
+	// equal row count (only meaningful together with StratParallel).
+	StratNNZBalance
+	// StratRowMajor traverses DIA/ELL storage row-by-row instead of the
+	// paper's default diagonal-/column-major order, writing each y element
+	// once.
+	StratRowMajor
+	// StratCacheBlock tiles the row dimension so the diagonal-major DIA
+	// traversal re-reads y from L1 instead of memory.
+	StratCacheBlock
+	// StratWidthSpec dispatches ELL to fully-unrolled kernels specialised
+	// for small fixed widths (no inner loop at all).
+	StratWidthSpec
+)
+
+// StrategyNames lists each individual strategy with its display name.
+var StrategyNames = []struct {
+	S    Strategy
+	Name string
+}{
+	{StratParallel, "parallel"},
+	{StratUnroll4, "unroll4"},
+	{StratNNZBalance, "nnzbalance"},
+	{StratRowMajor, "rowmajor"},
+	{StratCacheBlock, "cacheblock"},
+	{StratWidthSpec, "widthspec"},
+}
+
+// String renders the strategy set, e.g. "parallel+unroll4".
+func (s Strategy) String() string {
+	if s == 0 {
+		return "basic"
+	}
+	out := ""
+	for _, sn := range StrategyNames {
+		if s&sn.S != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += sn.Name
+		}
+	}
+	return out
+}
+
+// Count returns the number of strategies in the set.
+func (s Strategy) Count() int {
+	n := 0
+	for _, sn := range StrategyNames {
+		if s&sn.S != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Mat is a matrix held in one concrete storage format, ready for a kernel.
+// Exactly the field named by Format is non-nil.
+type Mat[T matrix.Float] struct {
+	Format matrix.Format
+	CSR    *matrix.CSR[T]
+	COO    *matrix.COO[T]
+	DIA    *matrix.DIA[T]
+	ELL    *matrix.ELL[T]
+	HYB    *matrix.HYB[T]  // extension format, see matrix.FormatHYB
+	BCSR   *matrix.BCSR[T] // extension format, see matrix.FormatBCSR
+}
+
+// Dims returns the matrix dimensions.
+func (m *Mat[T]) Dims() (rows, cols int) {
+	switch m.Format {
+	case matrix.FormatCSR:
+		return m.CSR.Rows, m.CSR.Cols
+	case matrix.FormatCOO:
+		return m.COO.Rows, m.COO.Cols
+	case matrix.FormatDIA:
+		return m.DIA.Rows, m.DIA.Cols
+	case matrix.FormatELL:
+		return m.ELL.Rows, m.ELL.Cols
+	case matrix.FormatHYB:
+		return m.HYB.Rows(), m.HYB.Cols()
+	case matrix.FormatBCSR:
+		return m.BCSR.Rows, m.BCSR.Cols
+	}
+	panic("kernels: invalid format")
+}
+
+// Convert materialises a CSR matrix in the requested format. maxFill bounds
+// DIA/ELL zero-fill as a multiple of NNZ (≤0: unlimited); conversion to an
+// unsuitable format returns matrix.ErrFillExplosion.
+func Convert[T matrix.Float](m *matrix.CSR[T], f matrix.Format, maxFill float64) (*Mat[T], error) {
+	switch f {
+	case matrix.FormatCSR:
+		return &Mat[T]{Format: f, CSR: m}, nil
+	case matrix.FormatCOO:
+		return &Mat[T]{Format: f, COO: m.ToCOO()}, nil
+	case matrix.FormatDIA:
+		d, err := m.ToDIA(maxFill)
+		if err != nil {
+			return nil, err
+		}
+		return &Mat[T]{Format: f, DIA: d}, nil
+	case matrix.FormatELL:
+		e, err := m.ToELL(maxFill)
+		if err != nil {
+			return nil, err
+		}
+		return &Mat[T]{Format: f, ELL: e}, nil
+	case matrix.FormatHYB:
+		return &Mat[T]{Format: f, HYB: m.ToHYB(-1)}, nil
+	case matrix.FormatBCSR:
+		b, err := m.ToBCSR(0, 0, maxFill)
+		if err != nil {
+			return nil, err
+		}
+		return &Mat[T]{Format: f, BCSR: b}, nil
+	}
+	return nil, fmt.Errorf("kernels: unknown format %v", f)
+}
+
+// Kernel is one SpMV implementation for one format.
+type Kernel[T matrix.Float] struct {
+	Name       string
+	Format     matrix.Format
+	Strategies Strategy
+	run        func(m *Mat[T], x, y []T, threads int)
+}
+
+// Run computes y = A·x (y is fully overwritten). threads ≤ 0 selects
+// GOMAXPROCS.
+func (k *Kernel[T]) Run(m *Mat[T], x, y []T, threads int) {
+	if m.Format != k.Format {
+		panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	k.run(m, x, y, threads)
+}
+
+// Library is the full kernel collection for one element type.
+type Library[T matrix.Float] struct {
+	byFormat map[matrix.Format][]*Kernel[T]
+	byName   map[string]*Kernel[T]
+}
+
+// NewLibrary builds the registry of all kernel implementations.
+func NewLibrary[T matrix.Float]() *Library[T] {
+	l := &Library[T]{
+		byFormat: make(map[matrix.Format][]*Kernel[T]),
+		byName:   make(map[string]*Kernel[T]),
+	}
+	for _, k := range allKernels[T]() {
+		l.Register(k)
+	}
+	return l
+}
+
+// Register adds a kernel to the library (the paper's extensibility hook: new
+// implementations join the scoreboard search without further changes).
+func (l *Library[T]) Register(k *Kernel[T]) {
+	if _, dup := l.byName[k.Name]; dup {
+		panic(fmt.Sprintf("kernels: duplicate kernel %q", k.Name))
+	}
+	l.byFormat[k.Format] = append(l.byFormat[k.Format], k)
+	l.byName[k.Name] = k
+}
+
+// ForFormat returns all kernels registered for a format.
+func (l *Library[T]) ForFormat(f matrix.Format) []*Kernel[T] { return l.byFormat[f] }
+
+// Lookup returns the kernel with the given name, or nil.
+func (l *Library[T]) Lookup(name string) *Kernel[T] { return l.byName[name] }
+
+// Names returns all registered kernel names grouped by format order.
+func (l *Library[T]) Names() []string {
+	var names []string
+	for _, f := range matrix.Formats {
+		for _, k := range l.byFormat[f] {
+			names = append(names, k.Name)
+		}
+	}
+	return names
+}
+
+// Basic returns the format's reference implementation (no strategies), which
+// anchors the scoreboard search and the paper's overhead unit (CSR-SpMV).
+func (l *Library[T]) Basic(f matrix.Format) *Kernel[T] {
+	for _, k := range l.byFormat[f] {
+		if k.Strategies == 0 {
+			return k
+		}
+	}
+	return nil
+}
+
+func allKernels[T matrix.Float]() []*Kernel[T] {
+	return []*Kernel[T]{
+		// CSR family.
+		{Name: "csr_basic", Format: matrix.FormatCSR, Strategies: 0, run: runCSRBasic[T]},
+		{Name: "csr_unroll4", Format: matrix.FormatCSR, Strategies: StratUnroll4, run: runCSRUnroll4[T]},
+		{Name: "csr_parallel", Format: matrix.FormatCSR, Strategies: StratParallel, run: runCSRParallel[T]},
+		{Name: "csr_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratUnroll4, run: runCSRParallelUnroll4[T]},
+		{Name: "csr_parallel_nnz", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, run: runCSRParallelNNZ[T]},
+		{Name: "csr_parallel_nnz_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCSRParallelNNZUnroll4[T]},
+		// COO family.
+		{Name: "coo_basic", Format: matrix.FormatCOO, Strategies: 0, run: runCOOBasic[T]},
+		{Name: "coo_unroll4", Format: matrix.FormatCOO, Strategies: StratUnroll4, run: runCOOUnroll4[T]},
+		{Name: "coo_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, run: runCOOParallel[T]},
+		{Name: "coo_parallel_unroll4", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCOOParallelUnroll4[T]},
+		// DIA family.
+		{Name: "dia_basic", Format: matrix.FormatDIA, Strategies: 0, run: runDIABasic[T]},
+		{Name: "dia_unroll4", Format: matrix.FormatDIA, Strategies: StratUnroll4, run: runDIAUnroll4[T]},
+		{Name: "dia_rowmajor", Format: matrix.FormatDIA, Strategies: StratRowMajor, run: runDIARowMajor[T]},
+		{Name: "dia_parallel", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor, run: runDIAParallel[T]},
+		{Name: "dia_parallel_unroll4", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runDIAParallelUnroll4[T]},
+		{Name: "dia_blocked", Format: matrix.FormatDIA, Strategies: StratCacheBlock, run: runDIABlocked[T]},
+		{Name: "dia_blocked_parallel", Format: matrix.FormatDIA, Strategies: StratCacheBlock | StratParallel, run: runDIABlockedParallel[T]},
+		// ELL family.
+		{Name: "ell_basic", Format: matrix.FormatELL, Strategies: 0, run: runELLBasic[T]},
+		{Name: "ell_unroll4", Format: matrix.FormatELL, Strategies: StratUnroll4, run: runELLUnroll4[T]},
+		{Name: "ell_rowmajor", Format: matrix.FormatELL, Strategies: StratRowMajor, run: runELLRowMajor[T]},
+		{Name: "ell_parallel", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor, run: runELLParallel[T]},
+		{Name: "ell_parallel_unroll4", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runELLParallelUnroll4[T]},
+		{Name: "ell_width", Format: matrix.FormatELL, Strategies: StratWidthSpec, run: runELLWidth[T]},
+		{Name: "ell_width_parallel", Format: matrix.FormatELL, Strategies: StratWidthSpec | StratParallel, run: runELLWidthParallel[T]},
+	}
+}
+
+// FLOPs returns the floating-point operation count of one SpMV on a matrix
+// with the given number of nonzeros (one multiply and one add per entry),
+// the paper's GFLOPS denominator.
+func FLOPs(nnz int) int64 { return 2 * int64(nnz) }
+
+// parallelRanges invokes fn(lo, hi) concurrently over an even split of
+// [0, n). Small problems run serially: goroutine fan-out costs more than it
+// saves below a few thousand work items.
+func parallelRanges(threads, n int, fn func(lo, hi int)) {
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 || n < 2048 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelBounds invokes fn over precomputed partition boundaries
+// bounds[0] ≤ bounds[1] ≤ … ≤ bounds[len-1]; chunk t is
+// [bounds[t], bounds[t+1]).
+func parallelBounds(bounds []int, fn func(lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks <= 1 {
+		if nchunks == 1 {
+			fn(bounds[0], bounds[1])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nchunks)
+	for t := 0; t < nchunks; t++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(bounds[t], bounds[t+1])
+	}
+	wg.Wait()
+}
+
+// nnzBalancedRowBounds partitions rows into at most `threads` chunks of
+// roughly equal nonzero count using the CSR row pointer.
+func nnzBalancedRowBounds(rowPtr []int, threads int) []int {
+	rows := len(rowPtr) - 1
+	nnz := rowPtr[rows]
+	if threads > rows {
+		threads = rows
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := make([]int, 0, threads+1)
+	bounds = append(bounds, 0)
+	for t := 1; t < threads; t++ {
+		target := nnz * t / threads
+		// Binary search the first row whose prefix exceeds the target.
+		lo, hi := bounds[len(bounds)-1], rows
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if rowPtr[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, rows)
+	return bounds
+}

@@ -1,0 +1,222 @@
+package matrix
+
+import "fmt"
+
+// FormatBCSR identifies the blocked CSR extension format (the register-
+// blocking format of Sparsity/OSKI, which the paper builds on in related
+// work). Like FormatHYB it is opt-in: not part of Formats, invisible to the
+// stock four-format pipeline.
+const FormatBCSR Format = numFormats + 1
+
+// BCSR stores the matrix as dense BR×BC blocks over a block-level CSR
+// skeleton. Blocks are row-major; block (bi, slot) occupies
+// Blocks[slot*BR*BC : (slot+1)*BR*BC]. Rows and Cols are the logical
+// (unpadded) dimensions; the last block row/column is zero-padded.
+type BCSR[T Float] struct {
+	Rows, Cols int
+	BR, BC     int
+	RowPtr     []int // block rows + 1
+	ColIdx     []int // block-column indices, strictly increasing per block row
+	Blocks     []T
+}
+
+// BlockRows returns the number of block rows.
+func (m *BCSR[T]) BlockRows() int { return (m.Rows + m.BR - 1) / m.BR }
+
+// BlockCols returns the number of block columns.
+func (m *BCSR[T]) BlockCols() int { return (m.Cols + m.BC - 1) / m.BC }
+
+// NBlocks returns the number of stored blocks.
+func (m *BCSR[T]) NBlocks() int { return len(m.ColIdx) }
+
+// NNZ returns the number of nonzero entries (zero fill inside blocks is not
+// counted).
+func (m *BCSR[T]) NNZ() int {
+	n := 0
+	for _, v := range m.Blocks {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants.
+func (m *BCSR[T]) Validate() error {
+	if m.BR < 1 || m.BC < 1 {
+		return fmt.Errorf("bcsr: invalid block size %dx%d", m.BR, m.BC)
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("bcsr: negative dimensions")
+	}
+	if len(m.RowPtr) != m.BlockRows()+1 {
+		return fmt.Errorf("bcsr: RowPtr length %d, want %d", len(m.RowPtr), m.BlockRows()+1)
+	}
+	if len(m.Blocks) != len(m.ColIdx)*m.BR*m.BC {
+		return fmt.Errorf("bcsr: Blocks length %d, want %d", len(m.Blocks), len(m.ColIdx)*m.BR*m.BC)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[len(m.RowPtr)-1] != len(m.ColIdx) {
+		return fmt.Errorf("bcsr: RowPtr endpoints wrong")
+	}
+	for bi := 0; bi < m.BlockRows(); bi++ {
+		if m.RowPtr[bi] > m.RowPtr[bi+1] {
+			return fmt.Errorf("bcsr: RowPtr not monotone at block row %d", bi)
+		}
+		prev := -1
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			c := m.ColIdx[s]
+			if c < 0 || c >= m.BlockCols() {
+				return fmt.Errorf("bcsr: block column %d out of range", c)
+			}
+			if c <= prev {
+				return fmt.Errorf("bcsr: block columns not increasing in block row %d", bi)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// BlockFill returns the stored-element count of a (br, bc) blocking as a
+// multiple of NNZ, computed exactly in O(nnz) — the quantity OSKI estimates
+// by sampling to pick the register-blocking factor.
+func BlockFill[T Float](m *CSR[T], br, bc int) float64 {
+	if m.NNZ() == 0 {
+		return 0
+	}
+	blockCols := (m.Cols + bc - 1) / bc
+	seen := make([]int, blockCols) // last block row to touch this block col
+	for i := range seen {
+		seen[i] = -1
+	}
+	blocks := 0
+	blockRows := (m.Rows + br - 1) / br
+	for bi := 0; bi < blockRows; bi++ {
+		rowEnd := (bi + 1) * br
+		if rowEnd > m.Rows {
+			rowEnd = m.Rows
+		}
+		for r := bi * br; r < rowEnd; r++ {
+			for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+				bcIdx := m.ColIdx[jj] / bc
+				if seen[bcIdx] != bi {
+					seen[bcIdx] = bi
+					blocks++
+				}
+			}
+		}
+	}
+	return float64(blocks*br*bc) / float64(m.NNZ())
+}
+
+// BestBlockSize picks the (br, bc) from a candidate set by a bytes-moved
+// model, the simplification of OSKI's profile-driven selection: SpMV is
+// memory-bound, an unblocked element moves a value plus a column index
+// (8+8 bytes for float64), while a blocked element moves fill× values but
+// amortises one block index over br·bc elements. The blocking with the
+// smallest modelled traffic wins; 1×1 is kept unless a blocking is a clear
+// improvement.
+func BestBlockSize[T Float](m *CSR[T]) (br, bc int) {
+	type cand struct{ r, c int }
+	cands := []cand{{2, 2}, {2, 3}, {3, 3}, {4, 4}, {6, 6}, {8, 8}}
+	br, bc = 1, 1
+	const valBytes, idxBytes = 8.0, 8.0
+	bestScore := 0.95 // a blocking must beat 1x1 by ≥5% of modelled traffic
+	for _, c := range cands {
+		fill := BlockFill(m, c.r, c.c)
+		area := float64(c.r * c.c)
+		score := (fill*valBytes + idxBytes/area) / (valBytes + idxBytes)
+		if score < bestScore {
+			br, bc = c.r, c.c
+			bestScore = score
+		}
+	}
+	return br, bc
+}
+
+// ToBCSR converts to blocked CSR with the given block size (br, bc ≤ 0
+// selects BestBlockSize). maxFillRatio bounds stored elements as a multiple
+// of NNZ (≤0: unlimited).
+func (m *CSR[T]) ToBCSR(br, bc int, maxFillRatio float64) (*BCSR[T], error) {
+	if br <= 0 || bc <= 0 {
+		br, bc = BestBlockSize(m)
+	}
+	if maxFillRatio > 0 && m.NNZ() > 0 {
+		if fill := BlockFill(m, br, bc); fill > maxFillRatio {
+			return nil, fmt.Errorf("%w: BCSR %dx%d fill %.2fx", ErrFillExplosion, br, bc, fill)
+		}
+	}
+	blockRows := (m.Rows + br - 1) / br
+	blockCols := (m.Cols + bc - 1) / bc
+	out := &BCSR[T]{Rows: m.Rows, Cols: m.Cols, BR: br, BC: bc, RowPtr: make([]int, blockRows+1)}
+	slotOf := make([]int, blockCols) // block col -> slot index within this block row
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	var touched []int
+	for bi := 0; bi < blockRows; bi++ {
+		rowEnd := (bi + 1) * br
+		if rowEnd > m.Rows {
+			rowEnd = m.Rows
+		}
+		// Discover the block columns of this block row in sorted order:
+		// merge the sorted per-row column lists.
+		touched = touched[:0]
+		for r := bi * br; r < rowEnd; r++ {
+			for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+				c := m.ColIdx[jj] / bc
+				if slotOf[c] == -1 {
+					slotOf[c] = 0
+					touched = append(touched, c)
+				}
+			}
+		}
+		insertionSortInts(touched)
+		base := len(out.ColIdx)
+		for s, c := range touched {
+			slotOf[c] = base + s
+			out.ColIdx = append(out.ColIdx, c)
+		}
+		out.Blocks = append(out.Blocks, make([]T, len(touched)*br*bc)...)
+		// Fill values.
+		for r := bi * br; r < rowEnd; r++ {
+			lr := r - bi*br
+			for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+				col := m.ColIdx[jj]
+				slot := slotOf[col/bc]
+				out.Blocks[slot*br*bc+lr*bc+(col%bc)] = m.Vals[jj]
+			}
+		}
+		for _, c := range touched {
+			slotOf[c] = -1
+		}
+		out.RowPtr[bi+1] = len(out.ColIdx)
+	}
+	return out, nil
+}
+
+// ToCSR converts blocked storage back to CSR, dropping block fill.
+func (m *BCSR[T]) ToCSR() *CSR[T] {
+	var ts []Triple[T]
+	for bi := 0; bi < m.BlockRows(); bi++ {
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			baseRow := bi * m.BR
+			baseCol := m.ColIdx[s] * m.BC
+			for lr := 0; lr < m.BR; lr++ {
+				for lc := 0; lc < m.BC; lc++ {
+					v := m.Blocks[s*m.BR*m.BC+lr*m.BC+lc]
+					if v == 0 {
+						continue
+					}
+					ts = append(ts, Triple[T]{Row: baseRow + lr, Col: baseCol + lc, Val: v})
+				}
+			}
+		}
+	}
+	out, err := FromTriples(m.Rows, m.Cols, ts)
+	if err != nil {
+		// Block indices were validated at conversion; unreachable.
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randBlockMatrix builds a matrix of dense 2x2 blocks at random block
+// positions, the BCSR-friendly structure.
+func randBlockMatrix(rng *rand.Rand, blockRows, blockCols int, density float64) *CSR[float64] {
+	var ts []Triple[float64]
+	for bi := 0; bi < blockRows; bi++ {
+		for bj := 0; bj < blockCols; bj++ {
+			if rng.Float64() < density {
+				for lr := 0; lr < 2; lr++ {
+					for lc := 0; lc < 2; lc++ {
+						ts = append(ts, Triple[float64]{
+							Row: bi*2 + lr, Col: bj*2 + lc, Val: 1 + rng.Float64(),
+						})
+					}
+				}
+			}
+		}
+	}
+	// Guarantee a nonempty matrix with one full block, keeping every stored
+	// block fully dense.
+	for lr := 0; lr < 2; lr++ {
+		for lc := 0; lc < 2; lc++ {
+			ts = append(ts, Triple[float64]{Row: lr, Col: lc, Val: 1})
+		}
+	}
+	m, err := FromTriples(blockRows*2, blockCols*2, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestBlockFillExactOnBlockMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randBlockMatrix(rng, 30, 30, 0.2)
+	// A 2x2 blocking of a 2x2-block matrix has fill 1 (every stored slot is
+	// a structural nonzero).
+	if fill := BlockFill(m, 2, 2); fill != 1 {
+		t.Errorf("2x2 fill = %g, want 1", fill)
+	}
+	// 1x1 blocking always has fill exactly 1.
+	if fill := BlockFill(m, 1, 1); fill != 1 {
+		t.Errorf("1x1 fill = %g, want 1", fill)
+	}
+	// A 3x3 blocking of a 2x2-block matrix must pad.
+	if fill := BlockFill(m, 3, 3); fill <= 1 {
+		t.Errorf("3x3 fill = %g, want > 1", fill)
+	}
+}
+
+func TestBestBlockSizeFindsNaturalBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randBlockMatrix(rng, 40, 40, 0.15)
+	br, bc := BestBlockSize(m)
+	if br != 2 || bc != 2 {
+		t.Errorf("BestBlockSize = %dx%d, want 2x2", br, bc)
+	}
+	// A scattered matrix should refuse blocking.
+	scattered := randCSR(rng, 60, 60, 0.02)
+	br, bc = BestBlockSize(scattered)
+	if br != 1 || bc != 1 {
+		t.Errorf("BestBlockSize on scattered = %dx%d, want 1x1", br, bc)
+	}
+}
+
+func TestBCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(30)
+		cols := 1 + rng.Intn(30)
+		m := randCSR(rng, rows, cols, 0.05+rng.Float64()*0.4)
+		for _, bs := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {4, 4}, {0, 0}} {
+			b, err := m.ToBCSR(bs[0], bs[1], 0)
+			if err != nil {
+				t.Logf("ToBCSR(%v): %v", bs, err)
+				return false
+			}
+			if err := b.Validate(); err != nil {
+				t.Logf("invalid BCSR (%v, seed %d): %v", bs, seed, err)
+				return false
+			}
+			if !b.ToCSR().Equal(m) {
+				t.Logf("round trip mismatch (%v, seed %d)", bs, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCSRFillGuard(t *testing.T) {
+	// A diagonal matrix blocks terribly at 8x8 (fill 8x with one element per
+	// block... actually 8: each 8x8 block holds 8 diagonal entries → fill 8).
+	m := Identity[float64](64)
+	if _, err := m.ToBCSR(8, 8, 4); !errors.Is(err, ErrFillExplosion) {
+		t.Errorf("err = %v, want ErrFillExplosion", err)
+	}
+	if _, err := m.ToBCSR(8, 8, 0); err != nil {
+		t.Errorf("unlimited ToBCSR failed: %v", err)
+	}
+}
+
+func TestBCSRRaggedEdges(t *testing.T) {
+	// 5x7 with 2x3 blocks: both dimensions ragged.
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(rng, 5, 7, 0.5)
+	b, err := m.ToBCSR(2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.BlockRows() != 3 || b.BlockCols() != 3 {
+		t.Errorf("block grid %dx%d, want 3x3", b.BlockRows(), b.BlockCols())
+	}
+	if !b.ToCSR().Equal(m) {
+		t.Error("ragged round trip mismatch")
+	}
+	if b.NNZ() != m.NNZ() {
+		t.Errorf("NNZ %d != %d", b.NNZ(), m.NNZ())
+	}
+}
+
+func TestBCSRValidateRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fresh := func() *BCSR[float64] {
+		b, err := randCSR(rng, 10, 10, 0.4).ToBCSR(2, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string]func(*BCSR[float64]){
+		"zero block size": func(b *BCSR[float64]) { b.BR = 0 },
+		"short RowPtr":    func(b *BCSR[float64]) { b.RowPtr = b.RowPtr[:2] },
+		"bad endpoint":    func(b *BCSR[float64]) { b.RowPtr[len(b.RowPtr)-1]++ },
+		"col out of range": func(b *BCSR[float64]) {
+			if len(b.ColIdx) > 0 {
+				b.ColIdx[0] = 99
+			}
+		},
+		"blocks length": func(b *BCSR[float64]) { b.Blocks = b.Blocks[:1] },
+	}
+	for name, corrupt := range cases {
+		b := fresh()
+		corrupt(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

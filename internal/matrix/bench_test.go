@@ -1,0 +1,81 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(b *testing.B) *CSR[float64] {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randCSR(rng, 2000, 2000, 0.005)
+}
+
+func BenchmarkSpGEMM(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Mul(m)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Transpose()
+	}
+}
+
+func BenchmarkTripleProductRAP(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randCSR(rng, 2000, 2000, 0.005)
+	p := randCSR(rng, 2000, 500, 0.004)
+	r := p.Transpose()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TripleProduct(r, a, p)
+	}
+}
+
+func BenchmarkConversions(b *testing.B) {
+	m := benchMatrix(b)
+	b.Run("ToCOO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m.ToCOO()
+		}
+	})
+	b.Run("ToELL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ToELL(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ToHYB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = m.ToHYB(-1)
+		}
+	})
+	b.Run("ToBCSR2x2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ToBCSR(2, 2, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFromTriples(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := make([]Triple[float64], 50000)
+	for i := range ts {
+		ts[i] = Triple[float64]{Row: rng.Intn(5000), Col: rng.Intn(5000), Val: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromTriples(5000, 5000, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrFillExplosion is returned by ToDIA and ToELL when the converted
+// representation would store more than the allowed multiple of the source
+// nonzero count. DIA and ELL zero-fill sparse diagonals and short rows; on an
+// unsuitable matrix the fill can exceed memory by orders of magnitude (the
+// phenomenon the paper's ER_DIA / ER_ELL features exist to predict), so
+// conversion refuses rather than allocating.
+var ErrFillExplosion = errors.New("matrix: conversion would exceed fill limit")
+
+// Triple is one (row, col, value) entry, the input unit for FromTriples.
+type Triple[T Float] struct {
+	Row, Col int
+	Val      T
+}
+
+// FromTriples builds a CSR matrix from unordered triples. Duplicate (row,
+// col) entries are summed; explicit zeros (including entries that cancel) are
+// dropped. Out-of-range entries are an error.
+func FromTriples[T Float](rows, cols int, ts []Triple[T]) (*CSR[T], error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("matrix: triple (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := append([]Triple[T](nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR[T]{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for k := 0; k < len(sorted); {
+		r, c := sorted[k].Row, sorted[k].Col
+		var sum T
+		for k < len(sorted) && sorted[k].Row == r && sorted[k].Col == c {
+			sum += sorted[k].Val
+			k++
+		}
+		if sum != 0 {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Vals = append(m.Vals, sum)
+			m.RowPtr[r+1] = len(m.Vals)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if m.RowPtr[r+1] < m.RowPtr[r] {
+			m.RowPtr[r+1] = m.RowPtr[r]
+		}
+	}
+	return m, nil
+}
+
+// ToCOO converts CSR to coordinate form. The result shares no storage with
+// the receiver and is sorted by (row, col).
+func (m *CSR[T]) ToCOO() *COO[T] {
+	out := &COO[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowIdx: make([]int, m.NNZ()),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Vals:   append([]T(nil), m.Vals...),
+	}
+	for r := 0; r < m.Rows; r++ {
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			out.RowIdx[jj] = r
+		}
+	}
+	return out
+}
+
+// ToCSR converts sorted COO back to CSR.
+func (m *COO[T]) ToCSR() *CSR[T] {
+	out := &CSR[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Vals:   append([]T(nil), m.Vals...),
+	}
+	for _, r := range m.RowIdx {
+		out.RowPtr[r+1]++
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
+}
+
+// DiagCount returns the number of distinct occupied diagonals and, for
+// convenience, the sorted offsets. It is shared by ToDIA and the feature
+// extractor.
+func (m *CSR[T]) DiagCount() (n int, offsets []int) {
+	// A diagonal's offset c-r ranges over [-(Rows-1), Cols-1]; a flat
+	// occupancy array keeps this pass at one increment per nonzero.
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0, nil
+	}
+	occupied := make([]bool, m.Rows+m.Cols-1)
+	base := m.Rows - 1
+	for r := 0; r < m.Rows; r++ {
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			occupied[m.ColIdx[jj]-r+base] = true
+		}
+	}
+	for idx, on := range occupied {
+		if on {
+			offsets = append(offsets, idx-base)
+		}
+	}
+	return len(offsets), offsets
+}
+
+// ToDIA converts to diagonal storage. maxFillRatio bounds the stored-element
+// count as a multiple of NNZ (≤0 means unlimited); conversion fails with
+// ErrFillExplosion beyond it.
+func (m *CSR[T]) ToDIA(maxFillRatio float64) (*DIA[T], error) {
+	_, offsets := m.DiagCount()
+	stored := len(offsets) * m.Rows
+	if maxFillRatio > 0 && m.NNZ() > 0 && float64(stored) > maxFillRatio*float64(m.NNZ()) {
+		return nil, fmt.Errorf("%w: DIA would store %d elements for %d nonzeros",
+			ErrFillExplosion, stored, m.NNZ())
+	}
+	d := &DIA[T]{Rows: m.Rows, Cols: m.Cols, Offsets: offsets, Data: make([]T, stored)}
+	if len(offsets) == 0 {
+		return d, nil
+	}
+	// Flat offset→diagonal-index table (offsets span rows+cols-1 slots).
+	pos := make([]int32, m.Rows+m.Cols-1)
+	base := m.Rows - 1
+	for i, off := range offsets {
+		pos[off+base] = int32(i)
+	}
+	for r := 0; r < m.Rows; r++ {
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			dgi := int(pos[m.ColIdx[jj]-r+base])
+			d.Data[dgi*m.Rows+r] = m.Vals[jj]
+		}
+	}
+	return d, nil
+}
+
+// ToCSR converts diagonal storage back to CSR, dropping zero fill.
+func (m *DIA[T]) ToCSR() *CSR[T] {
+	var ts []Triple[T]
+	for d, off := range m.Offsets {
+		for r := 0; r < m.Rows; r++ {
+			c := r + off
+			if c < 0 || c >= m.Cols {
+				continue
+			}
+			if v := m.Data[d*m.Rows+r]; v != 0 {
+				ts = append(ts, Triple[T]{Row: r, Col: c, Val: v})
+			}
+		}
+	}
+	out, err := FromTriples(m.Rows, m.Cols, ts)
+	if err != nil {
+		// Offsets were validated to lie inside the matrix; unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// MaxRowDegree returns the maximum number of stored entries in any row.
+func (m *CSR[T]) MaxRowDegree() int {
+	max := 0
+	for r := 0; r < m.Rows; r++ {
+		if d := m.RowDegree(r); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ToELL converts to ELLPACK storage with Width = MaxRowDegree. maxFillRatio
+// bounds the stored-element count as a multiple of NNZ (≤0 means unlimited).
+func (m *CSR[T]) ToELL(maxFillRatio float64) (*ELL[T], error) {
+	width := m.MaxRowDegree()
+	stored := width * m.Rows
+	if maxFillRatio > 0 && m.NNZ() > 0 && float64(stored) > maxFillRatio*float64(m.NNZ()) {
+		return nil, fmt.Errorf("%w: ELL would store %d elements for %d nonzeros",
+			ErrFillExplosion, stored, m.NNZ())
+	}
+	e := &ELL[T]{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Width:  width,
+		ColIdx: make([]int, stored),
+		Data:   make([]T, stored),
+	}
+	for r := 0; r < m.Rows; r++ {
+		slot := 0
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			e.ColIdx[slot*m.Rows+r] = m.ColIdx[jj]
+			e.Data[slot*m.Rows+r] = m.Vals[jj]
+			slot++
+		}
+	}
+	return e, nil
+}
+
+// ToCSR converts ELLPACK storage back to CSR, dropping padding.
+func (m *ELL[T]) ToCSR() *CSR[T] {
+	var ts []Triple[T]
+	for r := 0; r < m.Rows; r++ {
+		for slot := 0; slot < m.Width; slot++ {
+			if v := m.Data[slot*m.Rows+r]; v != 0 {
+				ts = append(ts, Triple[T]{Row: r, Col: m.ColIdx[slot*m.Rows+r], Val: v})
+			}
+		}
+	}
+	out, err := FromTriples(m.Rows, m.Cols, ts)
+	if err != nil {
+		// Column indices were validated at conversion time; unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// Equal reports exact structural and numerical equality of two CSR matrices.
+func (m *CSR[T]) Equal(o *CSR[T]) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != o.ColIdx[i] || m.Vals[i] != o.Vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports structural equality and elementwise agreement within
+// tol (relative for large magnitudes).
+func (m *CSR[T]) ApproxEqual(o *CSR[T], tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != o.ColIdx[i] {
+			return false
+		}
+	}
+	return VecApproxEqual(m.Vals, o.Vals, tol)
+}

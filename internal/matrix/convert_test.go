@@ -1,0 +1,217 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTriplesDeduplicatesAndCancels(t *testing.T) {
+	m, err := FromTriples(2, 2, []Triple[float64]{
+		{0, 0, 1}, {0, 0, 2}, // duplicates sum
+		{1, 1, 5}, {1, 1, -5}, // duplicates cancel -> dropped
+		{0, 1, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %g, want 3", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %g, want 0 (cancelled)", got)
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestFromTriplesRejectsOutOfRange(t *testing.T) {
+	for _, tr := range []Triple[float64]{{-1, 0, 1}, {0, -1, 1}, {2, 0, 1}, {0, 2, 1}} {
+		if _, err := FromTriples(2, 2, []Triple[float64]{tr}); err == nil {
+			t.Errorf("FromTriples accepted out-of-range triple %+v", tr)
+		}
+	}
+}
+
+func TestPaperExampleCOO(t *testing.T) {
+	// Figure 2(b): rows [0 0 1 1 2 2 2 3 3], cols [0 1 1 2 0 2 3 1 3].
+	c := paperCSR(t).ToCOO()
+	wantRows := []int{0, 0, 1, 1, 2, 2, 2, 3, 3}
+	wantCols := []int{0, 1, 1, 2, 0, 2, 3, 1, 3}
+	wantVals := []float64{1, 5, 2, 6, 8, 3, 7, 9, 4}
+	for i := range wantRows {
+		if c.RowIdx[i] != wantRows[i] || c.ColIdx[i] != wantCols[i] || c.Vals[i] != wantVals[i] {
+			t.Errorf("entry %d = (%d,%d,%g), want (%d,%d,%g)",
+				i, c.RowIdx[i], c.ColIdx[i], c.Vals[i], wantRows[i], wantCols[i], wantVals[i])
+		}
+	}
+}
+
+func TestPaperExampleDIA(t *testing.T) {
+	// Figure 2(c): offsets [-2 0 1].
+	d, err := paperCSR(t).ToDIA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOff := []int{-2, 0, 1, 2}
+	// The paper's figure draws offsets [-2 0 1]; the example matrix also has
+	// entry (2,3)=7 wait: offset 1. And (0,1)=5 offset 1, (1,2)=6 offset 1,
+	// (3,3)=4 offset 0, (2,3)=7 offset 1. So offsets are {-2, 0, 1}.
+	_ = wantOff
+	gotOff := d.Offsets
+	want := []int{-2, 0, 1}
+	if len(gotOff) != len(want) {
+		t.Fatalf("offsets = %v, want %v", gotOff, want)
+	}
+	for i := range want {
+		if gotOff[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", gotOff, want)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExampleELL(t *testing.T) {
+	m := paperCSR(t)
+	e, err := m.ToELL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width != 3 {
+		t.Fatalf("ELL width = %d, want 3", e.Width)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 has three entries: columns 0, 2, 3.
+	for slot, wantCol := range []int{0, 2, 3} {
+		if got := e.ColIdx[slot*e.Rows+2]; got != wantCol {
+			t.Errorf("row 2 slot %d col = %d, want %d", slot, got, wantCol)
+		}
+	}
+	// Row 0 has two entries; slot 2 is padding.
+	if e.Data[2*e.Rows+0] != 0 {
+		t.Error("row 0 slot 2 should be zero padding")
+	}
+}
+
+func TestConversionRoundTripsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(20)
+		cols := 1 + r.Intn(20)
+		m := randCSR(r, rows, cols, 0.2+r.Float64()*0.5)
+		if err := m.Validate(); err != nil {
+			t.Logf("invalid source: %v", err)
+			return false
+		}
+		viaCOO := m.ToCOO().ToCSR()
+		if !m.Equal(viaCOO) {
+			t.Logf("COO round trip mismatch (seed %d)", seed)
+			return false
+		}
+		d, err := m.ToDIA(0)
+		if err != nil {
+			t.Logf("ToDIA: %v", err)
+			return false
+		}
+		if !m.Equal(d.ToCSR()) {
+			t.Logf("DIA round trip mismatch (seed %d)", seed)
+			return false
+		}
+		e, err := m.ToELL(0)
+		if err != nil {
+			t.Logf("ToELL: %v", err)
+			return false
+		}
+		if !m.Equal(e.ToCSR()) {
+			t.Logf("ELL round trip mismatch (seed %d)", seed)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToDIAFillGuard(t *testing.T) {
+	// An anti-diagonal matrix occupies n distinct diagonals with one element
+	// each: the worst case for DIA.
+	n := 64
+	var ts []Triple[float64]
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple[float64]{Row: i, Col: n - 1 - i, Val: 1})
+	}
+	m := mustCSR(t, n, n, ts)
+	if _, err := m.ToDIA(4.0); !errors.Is(err, ErrFillExplosion) {
+		t.Fatalf("ToDIA err = %v, want ErrFillExplosion", err)
+	}
+	if _, err := m.ToDIA(0); err != nil {
+		t.Fatalf("unlimited ToDIA failed: %v", err)
+	}
+}
+
+func TestToELLFillGuard(t *testing.T) {
+	// One dense row in an otherwise diagonal matrix blows up ELL width.
+	n := 64
+	ts := []Triple[float64]{}
+	for i := 1; i < n; i++ {
+		ts = append(ts, Triple[float64]{Row: i, Col: i, Val: 1})
+	}
+	for c := 0; c < n; c++ {
+		ts = append(ts, Triple[float64]{Row: 0, Col: c, Val: 1})
+	}
+	m := mustCSR(t, n, n, ts)
+	if _, err := m.ToELL(4.0); !errors.Is(err, ErrFillExplosion) {
+		t.Fatalf("ToELL err = %v, want ErrFillExplosion", err)
+	}
+	if _, err := m.ToELL(0); err != nil {
+		t.Fatalf("unlimited ToELL failed: %v", err)
+	}
+}
+
+func TestDiagCount(t *testing.T) {
+	m := paperCSR(t)
+	n, offs := m.DiagCount()
+	if n != 3 {
+		t.Fatalf("DiagCount = %d, want 3", n)
+	}
+	want := []int{-2, 0, 1}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	m := paperCSR(t)
+	o := m.Clone()
+	o.Vals[0] += 1e-12
+	if !m.ApproxEqual(o, 1e-9) {
+		t.Error("ApproxEqual rejected tiny perturbation")
+	}
+	o.Vals[0] += 1
+	if m.ApproxEqual(o, 1e-9) {
+		t.Error("ApproxEqual accepted large perturbation")
+	}
+	if m.Equal(o) {
+		t.Error("Equal accepted perturbed matrix")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randCSR(rng, 13, 9, 0.3)
+	back := CSRFromDense(m.ToDense())
+	if !m.Equal(back) {
+		t.Error("dense round trip mismatch")
+	}
+}

@@ -1,0 +1,110 @@
+package matrix
+
+import "math"
+
+// Dense is a row-major dense matrix used as the correctness reference for
+// sparse kernels and conversions in tests and small solves (the AMG coarsest
+// level). It is not a performance format.
+type Dense[T Float] struct {
+	Rows, Cols int
+	Data       []T // Data[r*Cols+c]
+}
+
+// NewDense allocates a zeroed Rows×Cols dense matrix.
+func NewDense[T Float](rows, cols int) *Dense[T] {
+	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Dense[T]) At(r, c int) T { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Dense[T]) Set(r, c int, v T) { m.Data[r*m.Cols+c] = v }
+
+// MulVec computes y = A·x by the definition, as a reference.
+func (m *Dense[T]) MulVec(x, y []T) {
+	for r := 0; r < m.Rows; r++ {
+		var sum T
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		y[r] = sum
+	}
+}
+
+// ToDense expands a CSR matrix into the dense reference representation.
+func (m *CSR[T]) ToDense() *Dense[T] {
+	d := NewDense[T](m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			d.Data[r*m.Cols+m.ColIdx[jj]] = m.Vals[jj]
+		}
+	}
+	return d
+}
+
+// DenseFromRows builds a dense matrix from a slice of rows (each of equal
+// length). Convenient in tests.
+func DenseFromRows[T Float](rows [][]T) *Dense[T] {
+	if len(rows) == 0 {
+		return NewDense[T](0, 0)
+	}
+	d := NewDense[T](len(rows), len(rows[0]))
+	for r, row := range rows {
+		copy(d.Data[r*d.Cols:(r+1)*d.Cols], row)
+	}
+	return d
+}
+
+// CSRFromDense compresses a dense matrix, dropping exact zeros.
+func CSRFromDense[T Float](d *Dense[T]) *CSR[T] {
+	m := &CSR[T]{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int, d.Rows+1)}
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			if v := d.Data[r*d.Cols+c]; v != 0 {
+				m.ColIdx = append(m.ColIdx, c)
+				m.Vals = append(m.Vals, v)
+			}
+		}
+		m.RowPtr[r+1] = len(m.Vals)
+	}
+	return m
+}
+
+// Mul computes the dense product A·B, as a reference for SpGEMM.
+func (m *Dense[T]) Mul(b *Dense[T]) *Dense[T] {
+	out := NewDense[T](m.Rows, b.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			v := m.Data[r*m.Cols+k]
+			if v == 0 {
+				continue
+			}
+			for c := 0; c < b.Cols; c++ {
+				out.Data[r*out.Cols+c] += v * b.Data[k*b.Cols+c]
+			}
+		}
+	}
+	return out
+}
+
+// VecApproxEqual reports whether two vectors agree elementwise within tol,
+// measured relative to the larger magnitude (absolute for small values).
+func VecApproxEqual[T Float](a, b []T, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		diff := math.Abs(x - y)
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		if scale < 1 {
+			scale = 1
+		}
+		if diff > tol*scale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHybSplitWidthConstantDegree(t *testing.T) {
+	// Constant degree 4: the whole matrix fits the ELL part with zero pad.
+	rng := rand.New(rand.NewSource(1))
+	m := randConstantDegree(rng, 200, 4)
+	if w := HybSplitWidth(m, 0.3); w != 4 {
+		t.Fatalf("width = %d, want 4", w)
+	}
+	h := m.ToHYB(-1)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.COO.NNZ() != 0 {
+		t.Errorf("COO part holds %d entries, want 0", h.COO.NNZ())
+	}
+	if h.NNZ() != m.NNZ() {
+		t.Errorf("NNZ %d != %d", h.NNZ(), m.NNZ())
+	}
+}
+
+func randConstantDegree(rng *rand.Rand, n, deg int) *CSR[float64] {
+	var ts []Triple[float64]
+	for r := 0; r < n; r++ {
+		seen := map[int]bool{}
+		for len(seen) < deg {
+			c := rng.Intn(n)
+			if !seen[c] {
+				seen[c] = true
+				ts = append(ts, Triple[float64]{Row: r, Col: c, Val: 1 + rng.Float64()})
+			}
+		}
+	}
+	m, err := FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestHybSplitsSkewedTail(t *testing.T) {
+	// Mostly degree-2 rows plus one dense row: the dense row must overflow
+	// into COO instead of padding ELL to full width.
+	n := 200
+	var ts []Triple[float64]
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple[float64]{Row: i, Col: i, Val: 2})
+		ts = append(ts, Triple[float64]{Row: i, Col: (i + 1) % n, Val: 1})
+	}
+	for c := 2; c < n; c++ {
+		ts = append(ts, Triple[float64]{Row: 0, Col: c, Val: 3})
+	}
+	m, err := FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.ToHYB(-1)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.ELL.Width > 3 {
+		t.Errorf("ELL width = %d, want small (dense row in COO)", h.ELL.Width)
+	}
+	if h.COO.NNZ() == 0 {
+		t.Error("COO part empty despite dense row")
+	}
+	if !h.ToCSR().Equal(m) {
+		t.Error("HYB round trip mismatch")
+	}
+}
+
+func TestHybRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randCSR(rng, 1+rng.Intn(30), 1+rng.Intn(30), 0.05+rng.Float64()*0.4)
+		for _, w := range []int{-1, 0, 1, 2, 100} {
+			h := m.ToHYB(w)
+			if err := h.Validate(); err != nil {
+				t.Logf("invalid HYB (w=%d): %v", w, err)
+				return false
+			}
+			if !h.ToCSR().Equal(m) {
+				t.Logf("round trip mismatch (w=%d, seed %d)", w, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybValidateRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randCSR(rng, 20, 20, 0.3)
+	h := m.ToHYB(2)
+	h.COO.Rows = 5
+	if err := h.Validate(); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	h2 := m.ToHYB(2)
+	h2.ELL = nil
+	if err := h2.Validate(); err == nil {
+		t.Error("missing part accepted")
+	}
+}
+
+func TestHybFormatConstant(t *testing.T) {
+	if FormatHYB == FormatCSR || FormatHYB == FormatCOO || FormatHYB == FormatDIA || FormatHYB == FormatELL {
+		t.Fatal("FormatHYB collides with a basic format")
+	}
+	for _, f := range Formats {
+		if f == FormatHYB {
+			t.Fatal("FormatHYB must not be part of the stock format set")
+		}
+	}
+}
+
+func TestHybSplitWidthEmpty(t *testing.T) {
+	m, err := FromTriples[float64](0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := HybSplitWidth(m, 0.3); w != 0 {
+		t.Errorf("empty matrix width = %d", w)
+	}
+}

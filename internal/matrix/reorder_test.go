@@ -1,0 +1,156 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shuffledBandMatrix builds a tridiagonal matrix and hides its band under a
+// random symmetric permutation.
+func shuffledBandMatrix(rng *rand.Rand, n int) *CSR[float64] {
+	var ts []Triple[float64]
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple[float64]{Row: perm[i], Col: perm[i], Val: 2})
+		if i > 0 {
+			ts = append(ts, Triple[float64]{Row: perm[i], Col: perm[i-1], Val: -1})
+			ts = append(ts, Triple[float64]{Row: perm[i-1], Col: perm[i], Val: -1})
+		}
+	}
+	m, err := FromTriples(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestRCMRecoversHiddenBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := shuffledBandMatrix(rng, 400)
+	if m.Bandwidth() < 50 {
+		t.Fatalf("shuffle failed to scatter: bandwidth %d", m.Bandwidth())
+	}
+	perm, err := m.RCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path graph has an exact bandwidth-1 ordering; RCM recovers it (or
+	// something very close).
+	if bw := re.Bandwidth(); bw > 2 {
+		t.Errorf("RCM bandwidth = %d, want ≤2 on a hidden path", bw)
+	}
+}
+
+func TestPermuteIsSimilarityTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := randCSR(rng, n, n, 0.3)
+		perm := rng.Perm(n)
+		p, err := m.Permute(perm)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		// Entry check: P[i,j] == A[perm[i], perm[j]].
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if p.At(i, j) != m.At(perm[i], perm[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randCSR(rng, 15, 15, 0.3)
+	id := make([]int, 15)
+	for i := range id {
+		id[i] = i
+	}
+	p, err := m.Permute(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(m) {
+		t.Error("identity permutation changed matrix")
+	}
+}
+
+func TestPermuteRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(rng, 5, 5, 0.5)
+	if _, err := m.Permute([]int{0, 1, 2}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := m.Permute([]int{0, 1, 2, 3, 3}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := m.Permute([]int{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+	rect := randCSR(rng, 3, 5, 0.5)
+	if _, err := rect.Permute([]int{0, 1, 2}); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	if _, err := rect.RCM(); err == nil {
+		t.Error("RCM on rectangular matrix accepted")
+	}
+}
+
+func TestRCMHandlesDisconnectedGraph(t *testing.T) {
+	// Two disjoint paths plus an isolated vertex.
+	var ts []Triple[float64]
+	for i := 0; i < 4; i++ {
+		ts = append(ts, Triple[float64]{Row: i, Col: i, Val: 1})
+	}
+	ts = append(ts,
+		Triple[float64]{Row: 0, Col: 1, Val: 1}, Triple[float64]{Row: 1, Col: 0, Val: 1},
+		Triple[float64]{Row: 2, Col: 3, Val: 1}, Triple[float64]{Row: 3, Col: 2, Val: 1},
+	)
+	ts = append(ts, Triple[float64]{Row: 4, Col: 4, Val: 1})
+	m, err := FromTriples(5, 5, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := m.RCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 5 {
+		t.Fatalf("permutation covers %d of 5 vertices", len(perm))
+	}
+	seen := map[int]bool{}
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m := mustCSR(t, 4, 4, []Triple[float64]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	if bw := m.Bandwidth(); bw != 2 {
+		t.Errorf("bandwidth = %d, want 2", bw)
+	}
+	empty := mustCSR(t, 3, 3, nil)
+	if bw := empty.Bandwidth(); bw != 0 {
+		t.Errorf("empty bandwidth = %d", bw)
+	}
+}

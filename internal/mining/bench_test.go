@@ -1,0 +1,43 @@
+package mining
+
+import "testing"
+
+// BenchmarkBuildTree measures the off-line learning cost on a corpus-sized
+// dataset (the paper: learning runs once per architecture and is reused).
+func BenchmarkBuildTree(b *testing.B) {
+	ds := thresholdDataset(2000, 0.05, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(ds, TreeConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRulesFromTree(b *testing.B) {
+	ds := thresholdDataset(2000, 0.05, 2)
+	tree, err := BuildTree(ds, TreeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RulesFromTree(tree, ds)
+	}
+}
+
+// BenchmarkRulesetPredict measures the on-line rule evaluation cost, which
+// must stay negligible next to one SpMV.
+func BenchmarkRulesetPredict(b *testing.B) {
+	ds := thresholdDataset(2000, 0.05, 3)
+	tree, err := BuildTree(ds, TreeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := RulesFromTree(tree, ds)
+	attrs := []float64{0.4, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rs.Predict(attrs)
+	}
+}

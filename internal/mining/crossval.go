@@ -1,0 +1,45 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrossValidate runs k-fold cross-validation of the full pipeline (tree →
+// ruleset) on the dataset and returns the per-fold held-out accuracies and
+// their mean. The fold assignment is a deterministic shuffle of the example
+// indices.
+func CrossValidate(ds *Dataset, k int, cfg TreeConfig, seed int64) (accs []float64, mean float64, err error) {
+	if err := ds.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k < 2 {
+		return nil, 0, fmt.Errorf("mining: cross validation needs k ≥ 2, got %d", k)
+	}
+	if len(ds.Examples) < k {
+		return nil, 0, fmt.Errorf("mining: %d examples cannot fill %d folds", len(ds.Examples), k)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(ds.Examples))
+	for fold := 0; fold < k; fold++ {
+		train := &Dataset{AttrNames: ds.AttrNames, ClassNames: ds.ClassNames}
+		test := &Dataset{AttrNames: ds.AttrNames, ClassNames: ds.ClassNames}
+		for pos, idx := range perm {
+			if pos%k == fold {
+				test.Examples = append(test.Examples, ds.Examples[idx])
+			} else {
+				train.Examples = append(train.Examples, ds.Examples[idx])
+			}
+		}
+		tree, err := BuildTree(train, cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mining: fold %d: %w", fold, err)
+		}
+		rs := RulesFromTree(tree, train)
+		accs = append(accs, rs.Accuracy(test))
+	}
+	for _, a := range accs {
+		mean += a
+	}
+	mean /= float64(len(accs))
+	return accs, mean, nil
+}

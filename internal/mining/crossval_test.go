@@ -1,0 +1,52 @@
+package mining
+
+import "testing"
+
+func TestCrossValidateLearnableConcept(t *testing.T) {
+	ds := thresholdDataset(600, 0.02, 21)
+	accs, mean, err := CrossValidate(ds, 5, TreeConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 5 {
+		t.Fatalf("%d folds, want 5", len(accs))
+	}
+	if mean < 0.9 {
+		t.Errorf("mean CV accuracy %g on an easy concept, want ≥0.9", mean)
+	}
+	for i, a := range accs {
+		if a < 0.8 {
+			t.Errorf("fold %d accuracy %g", i, a)
+		}
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds := thresholdDataset(300, 0.1, 22)
+	_, m1, err := CrossValidate(ds, 4, TreeConfig{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := CrossValidate(ds, 4, TreeConfig{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("same seed gave %g and %g", m1, m2)
+	}
+}
+
+func TestCrossValidateRejectsBadArguments(t *testing.T) {
+	ds := thresholdDataset(10, 0, 23)
+	if _, _, err := CrossValidate(ds, 1, TreeConfig{}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := CrossValidate(ds, 50, TreeConfig{}, 1); err == nil {
+		t.Error("more folds than examples accepted")
+	}
+	bad := &Dataset{AttrNames: []string{"x"}, ClassNames: []string{"A"},
+		Examples: []Example{{Attrs: []float64{1, 2}, Label: 0}}}
+	if _, _, err := CrossValidate(bad, 2, TreeConfig{}, 1); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}

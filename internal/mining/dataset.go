@@ -1,0 +1,57 @@
+// Package mining implements the data-mining substrate SMAT uses in place of
+// the closed-source C5.0 tool: a C4.5-family decision-tree inducer over
+// continuous attributes (gain-ratio splits, pessimistic pruning) and a
+// ruleset extractor that converts the tree into ordered IF-THEN rules with
+// per-rule confidence factors — the exact artifact shape SMAT's runtime
+// consumes (Section 5.1 of the paper).
+package mining
+
+import "fmt"
+
+// Example is one training record: a feature vector and a class label index.
+type Example struct {
+	Attrs []float64
+	Label int
+}
+
+// Dataset is a labelled training set with attribute and class names.
+type Dataset struct {
+	AttrNames  []string
+	ClassNames []string
+	Examples   []Example
+}
+
+// Validate checks that every example has the right arity and a legal label.
+func (ds *Dataset) Validate() error {
+	for i, ex := range ds.Examples {
+		if len(ex.Attrs) != len(ds.AttrNames) {
+			return fmt.Errorf("mining: example %d has %d attrs, want %d",
+				i, len(ex.Attrs), len(ds.AttrNames))
+		}
+		if ex.Label < 0 || ex.Label >= len(ds.ClassNames) {
+			return fmt.Errorf("mining: example %d has label %d outside %d classes",
+				i, ex.Label, len(ds.ClassNames))
+		}
+	}
+	return nil
+}
+
+// classCounts tallies labels over a set of example indices.
+func (ds *Dataset) classCounts(idx []int) []int {
+	counts := make([]int, len(ds.ClassNames))
+	for _, i := range idx {
+		counts[ds.Examples[i].Label]++
+	}
+	return counts
+}
+
+// majority returns the class with the highest count (lowest index on ties)
+// and its count.
+func majority(counts []int) (class, count int) {
+	for c, n := range counts {
+		if n > count {
+			class, count = c, n
+		}
+	}
+	return class, count
+}

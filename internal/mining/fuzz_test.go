@@ -1,0 +1,28 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRuleset checks the model deserialiser never panics and never
+// accepts a ruleset that then fails during prediction.
+func FuzzDecodeRuleset(f *testing.F) {
+	f.Add(`{"attr_names":["x"],"class_names":["A","B"],"rules":[{"conds":[{"attr":0,"op":0,"threshold":1}],"class":0,"confidence":0.5}],"default":1}`)
+	f.Add(`{"attr_names":[],"class_names":["A"],"rules":[],"default":0}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		rs, err := DecodeRuleset(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must predict without panicking on a vector
+		// of the declared arity.
+		attrs := make([]float64, len(rs.AttrNames))
+		c := rs.Predict(attrs)
+		if c < 0 || c >= len(rs.ClassNames) {
+			t.Fatalf("prediction %d outside %d classes", c, len(rs.ClassNames))
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package mining
+
+import "math"
+
+// prune applies C4.5-style pessimistic subtree-replacement pruning: a
+// subtree collapses to a leaf when the leaf's estimated (upper-bound) error
+// is no worse than the sum of its children's estimates.
+func prune(n *node, cf float64) float64 {
+	total := 0
+	for _, c := range n.counts {
+		total += c
+	}
+	_, maj := majority(n.counts)
+	leafErr := pessimisticErrors(total-maj, total, cf)
+	if n.isLeaf() {
+		return leafErr
+	}
+	subtreeErr := prune(n.left, cf) + prune(n.right, cf)
+	if leafErr <= subtreeErr+1e-12 {
+		n.left, n.right = nil, nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// pessimisticErrors returns the estimated error count for a node that
+// misclassifies e of n training examples, using the upper limit of the
+// Wilson score interval at confidence cf (z is the (1−cf) normal quantile,
+// the same construction C4.5 uses).
+func pessimisticErrors(e, n int, cf float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	z := normalQuantile(1 - cf)
+	f := float64(e) / float64(n)
+	nn := float64(n)
+	upper := (f + z*z/(2*nn) + z*math.Sqrt(f*(1-f)/nn+z*z/(4*nn*nn))) / (1 + z*z/nn)
+	return upper * nn
+}
+
+// normalQuantile approximates the standard normal quantile Φ⁻¹(p) for
+// p ∈ (0, 1) using the Acklam rational approximation (|ε| < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

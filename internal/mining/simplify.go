@@ -1,0 +1,46 @@
+package mining
+
+// SimplifyConditions generalises every rule by greedily dropping conditions
+// whose removal does not lower the rule's Laplace confidence on the training
+// set — the condition-pruning step of C4.5rules (and C5.0's ruleset
+// classifier, which the paper uses). Dropping a condition widens a rule's
+// coverage; the confidence criterion accepts the widening only when the
+// newly covered examples agree with the rule's class. Rules are re-scored
+// and re-ordered by contribution afterwards; the receiver is unchanged.
+func (rs *Ruleset) SimplifyConditions(ds *Dataset) *Ruleset {
+	out := &Ruleset{
+		AttrNames:  rs.AttrNames,
+		ClassNames: rs.ClassNames,
+		Default:    rs.Default,
+		Rules:      make([]Rule, len(rs.Rules)),
+	}
+	for i := range rs.Rules {
+		out.Rules[i] = simplifyRule(rs.Rules[i], ds)
+	}
+	out.orderByContribution(ds)
+	return out
+}
+
+func simplifyRule(r Rule, ds *Dataset) Rule {
+	cur := Rule{Conds: append([]Condition(nil), r.Conds...), Class: r.Class}
+	scoreRule(&cur, ds)
+	for {
+		bestIdx := -1
+		var best Rule
+		for i := range cur.Conds {
+			cand := Rule{Class: cur.Class}
+			cand.Conds = append(cand.Conds, cur.Conds[:i]...)
+			cand.Conds = append(cand.Conds, cur.Conds[i+1:]...)
+			scoreRule(&cand, ds)
+			if cand.Confidence >= cur.Confidence &&
+				(bestIdx == -1 || cand.Confidence > best.Confidence) {
+				bestIdx = i
+				best = cand
+			}
+		}
+		if bestIdx == -1 {
+			return cur
+		}
+		cur = best
+	}
+}

@@ -1,0 +1,43 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the parser and that
+// anything it accepts is a valid matrix that survives a write/read round
+// trip.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1\n3 1 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer skew-symmetric\n2 2 1\n2 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% c\n\n1 1 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999 1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		if m.Rows > 1<<20 || m.Cols > 1<<20 {
+			return // skip round trip on absurd dimensions
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write of accepted matrix failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v", err)
+		}
+		if !m.Equal(back) {
+			t.Fatal("round trip changed matrix")
+		}
+	})
+}

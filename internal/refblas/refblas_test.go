@@ -1,0 +1,92 @@
+package refblas
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+func TestEntryPointsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := gen.RandomUniform[float64](200, 150, 6, rng)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, m.Rows)
+	m.ToDense().MulVec(x, want)
+	lib := New[float64](2)
+
+	y := make([]float64, m.Rows)
+	lib.CSRGeMV(m, x, y)
+	if !matrix.VecApproxEqual(y, want, 1e-9) {
+		t.Error("CSRGeMV wrong")
+	}
+	lib.COOGeMV(m.ToCOO(), x, y)
+	if !matrix.VecApproxEqual(y, want, 1e-9) {
+		t.Error("COOGeMV wrong")
+	}
+	d, err := m.ToDIA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.DIAGeMV(d, x, y)
+	if !matrix.VecApproxEqual(y, want, 1e-9) {
+		t.Error("DIAGeMV wrong")
+	}
+	e, err := m.ToELL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.ELLGeMV(e, x, y)
+	if !matrix.VecApproxEqual(y, want, 1e-9) {
+		t.Error("ELLGeMV wrong")
+	}
+}
+
+func TestBestFixedFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := gen.MultiDiagonal[float64](1500, []int{-1, 0, 1}, rng)
+	lib := New[float64](2)
+	measure := func(op func()) float64 {
+		op() // warm up
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			op()
+		}
+		return time.Since(start).Seconds() / 3
+	}
+	best, gflops := lib.BestFixedFormat(m, 20, measure)
+	if len(gflops) != 3 {
+		t.Fatalf("measured %d formats, want 3 (CSR, COO, DIA)", len(gflops))
+	}
+	if gflops[best] < gflops[matrix.FormatCSR] || gflops[best] < gflops[matrix.FormatCOO] {
+		t.Error("best format is not the max")
+	}
+}
+
+func TestBestFixedFormatSkipsInfeasibleDIA(t *testing.T) {
+	n := 800
+	var ts []matrix.Triple[float64]
+	for i := 0; i < n; i++ {
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: n - 1 - i, Val: 1})
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: i, Val: 1})
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := New[float64](2)
+	measure := func(op func()) float64 {
+		start := time.Now()
+		op()
+		return time.Since(start).Seconds()
+	}
+	_, gflops := lib.BestFixedFormat(m, 10, measure)
+	if _, ok := gflops[matrix.FormatDIA]; ok {
+		t.Error("DIA measured despite fill explosion")
+	}
+}

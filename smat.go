@@ -1,0 +1,196 @@
+// Package smat is an input-adaptive auto-tuner for sparse matrix-vector
+// multiplication, a Go implementation of the system described in
+//
+//	Li, Tan, Chen, Sun — "SMAT: An Input Adaptive Auto-Tuner for Sparse
+//	Matrix-Vector Multiplication", PLDI 2013.
+//
+// The library exposes a single unified programming interface in CSR format:
+// the user supplies a matrix as compressed sparse rows and SMAT determines,
+// at runtime, the best storage format (CSR, COO, DIA or ELL) and kernel
+// implementation for it — either confidently from a machine-learned ruleset
+// trained off-line on a large matrix corpus, or by a fast execute-and-
+// measure fallback when the model is unsure.
+//
+// Typical use:
+//
+//	model := smat.HeuristicModel()            // or LoadModel / TrainModel
+//	tuner := smat.NewTuner[float64](model, 0)
+//	a, _ := smat.FromEntries[float64](rows, cols, entries)
+//	tuner.CSRSpMV(a, x, y)                    // y = A·x, auto-tuned
+package smat
+
+import (
+	"fmt"
+	"io"
+
+	"smat/internal/autotune"
+	"smat/internal/matrix"
+	"smat/internal/mmio"
+)
+
+// Float is the set of supported element types.
+type Float = matrix.Float
+
+// Format identifies a sparse storage format.
+type Format = matrix.Format
+
+// The four basic storage formats of the paper's Section 2.1.
+const (
+	FormatCSR = matrix.FormatCSR
+	FormatCOO = matrix.FormatCOO
+	FormatDIA = matrix.FormatDIA
+	FormatELL = matrix.FormatELL
+)
+
+// Entry is one (row, col, value) coordinate used to assemble a matrix.
+type Entry[T Float] struct {
+	Row, Col int
+	Val      T
+}
+
+// Matrix is SMAT's matrix handle: a validated CSR matrix plus the cached
+// tuning result, so repeated CSRSpMV calls pay the tuning cost once.
+type Matrix[T Float] struct {
+	csr   *matrix.CSR[T]
+	op    *Operator[T]
+	owner *Tuner[T]
+}
+
+// FromEntries assembles a matrix from unordered coordinate entries
+// (duplicates are summed, zeros dropped).
+func FromEntries[T Float](rows, cols int, entries []Entry[T]) (*Matrix[T], error) {
+	ts := make([]matrix.Triple[T], len(entries))
+	for i, e := range entries {
+		ts[i] = matrix.Triple[T]{Row: e.Row, Col: e.Col, Val: e.Val}
+	}
+	m, err := matrix.FromTriples(rows, cols, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{csr: m}, nil
+}
+
+// NewCSR wraps raw CSR arrays (rowPtr of length rows+1, colIdx and vals of
+// length nnz, columns strictly increasing within each row). The arrays are
+// used directly, not copied; the caller must not mutate them afterwards.
+func NewCSR[T Float](rows, cols int, rowPtr, colIdx []int, vals []T) (*Matrix[T], error) {
+	m := &matrix.CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Vals: vals}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{csr: m}, nil
+}
+
+// ReadMatrixMarket parses a Matrix Market (.mtx) coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix[float64], error) {
+	m, err := mmio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[float64]{csr: m}, nil
+}
+
+// Dims returns the matrix dimensions.
+func (a *Matrix[T]) Dims() (rows, cols int) { return a.csr.Rows, a.csr.Cols }
+
+// NNZ returns the number of stored nonzeros.
+func (a *Matrix[T]) NNZ() int { return a.csr.NNZ() }
+
+// CSR exposes the underlying representation for interoperation with the
+// library's internal packages (AMG, benchmarks). Treat it as read-only.
+func (a *Matrix[T]) CSR() *matrix.CSR[T] { return a.csr }
+
+// Features extracts the paper's Table 2 sparse-structure parameters.
+func (a *Matrix[T]) Features() Features {
+	return featuresOf(a.csr)
+}
+
+// Tuner holds a trained model and tunes matrices against it.
+type Tuner[T Float] struct {
+	inner *autotune.Tuner[T]
+}
+
+// NewTuner builds a runtime tuner. threads ≤ 0 selects the model's trained
+// configuration (capped to GOMAXPROCS).
+func NewTuner[T Float](model *Model, threads int) *Tuner[T] {
+	return &Tuner[T]{inner: autotune.NewTuner[T](model, threads)}
+}
+
+// Threads returns the tuner's thread configuration.
+func (t *Tuner[T]) Threads() int { return t.inner.Threads() }
+
+// Tune selects the format and kernel for a matrix and returns the tuned
+// operator together with the decision record. The result is also cached on
+// the matrix handle for CSRSpMV.
+func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
+	op, dec, err := t.inner.Tune(a.csr)
+	if err != nil {
+		return nil, err
+	}
+	out := &Operator[T]{op: op, dec: dec}
+	a.op, a.owner = out, t
+	return out, nil
+}
+
+// CSRSpMV is the paper's unified interface (SMAT_xCSR_SpMV): it computes
+// y = A·x on a CSR-format input, auto-tuning the matrix on first use and
+// reusing the decision afterwards. x must have length Cols, y length Rows.
+func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
+	rows, cols := a.Dims()
+	if len(x) != cols || len(y) != rows {
+		return fmt.Errorf("smat: CSRSpMV on %dx%d matrix with |x|=%d |y|=%d", rows, cols, len(x), len(y))
+	}
+	if a.op == nil || a.owner != t {
+		if _, err := t.Tune(a); err != nil {
+			return err
+		}
+	}
+	a.op.MulVec(x, y)
+	return nil
+}
+
+// Operator is a tuned SpMV bound to its chosen format and kernel.
+type Operator[T Float] struct {
+	op  *autotune.Operator[T]
+	dec *autotune.Decision
+}
+
+// MulVec computes y = A·x.
+func (o *Operator[T]) MulVec(x, y []T) { o.op.MulVec(x, y) }
+
+// Format returns the chosen storage format.
+func (o *Operator[T]) Format() Format { return o.op.Format() }
+
+// KernelName returns the chosen kernel implementation.
+func (o *Operator[T]) KernelName() string { return o.op.KernelName() }
+
+// Decision returns the full runtime decision record (prediction, confidence,
+// fallback measurements, overhead accounting).
+func (o *Operator[T]) Decision() Decision {
+	return Decision{
+		Predicted:    o.dec.Predicted,
+		PredictedOK:  o.dec.PredictedOK,
+		Confidence:   o.dec.Confidence,
+		UsedFallback: o.dec.UsedFallback,
+		Chosen:       o.dec.Chosen,
+		Kernel:       o.dec.Kernel,
+		Overhead:     o.dec.Overhead(),
+	}
+}
+
+// Decision summarises how SMAT chose the operator's format.
+type Decision struct {
+	// Predicted is the model's format when PredictedOK; Confidence its
+	// matched rule-group confidence factor.
+	Predicted   Format
+	PredictedOK bool
+	Confidence  float64
+	// UsedFallback reports that the execute-and-measure path ran.
+	UsedFallback bool
+	// Chosen is the final format, Kernel the implementation name.
+	Chosen Format
+	Kernel string
+	// Overhead is the total decision cost in multiples of one basic
+	// CSR-SpMV execution (the paper's Table 3 unit).
+	Overhead float64
+}

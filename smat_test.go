@@ -1,0 +1,257 @@
+package smat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+func diagEntries(n int) []Entry[float64] {
+	var es []Entry[float64]
+	for i := 0; i < n; i++ {
+		es = append(es, Entry[float64]{Row: i, Col: i, Val: 2})
+		if i > 0 {
+			es = append(es, Entry[float64]{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < n-1 {
+			es = append(es, Entry[float64]{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	return es
+}
+
+func TestFromEntriesAndDims(t *testing.T) {
+	a, err := FromEntries(100, 100, diagEntries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := a.Dims()
+	if r != 100 || c != 100 || a.NNZ() != 298 {
+		t.Fatalf("dims %dx%d nnz %d", r, c, a.NNZ())
+	}
+}
+
+func TestNewCSRValidates(t *testing.T) {
+	if _, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 5}, []float64{1, 2}); err == nil {
+		t.Error("NewCSR accepted out-of-range column")
+	}
+	a, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Error("wrong NNZ")
+	}
+}
+
+func TestHeuristicModelRouting(t *testing.T) {
+	tuner := NewTuner[float64](HeuristicModel(), 2)
+	cases := []struct {
+		name string
+		m    *matrix.CSR[float64]
+		want Format
+	}{
+		{"tridiagonal", gen.MultiDiagonal[float64](3000, []int{-1, 0, 1}, rand.New(rand.NewSource(1))), FormatDIA},
+		{"constant-degree", gen.ConstantDegree[float64](3000, 4, rand.New(rand.NewSource(2))), FormatELL},
+		{"power-law", gen.PreferentialAttachment[float64](4000, 3, rand.New(rand.NewSource(3))), FormatCOO},
+		{"irregular", gen.RandomUniform[float64](3000, 3000, 8, rand.New(rand.NewSource(4))), FormatCSR},
+	}
+	for _, tc := range cases {
+		a := &Matrix[float64]{csr: tc.m}
+		op, err := tuner.Tune(a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		d := op.Decision()
+		if !d.PredictedOK {
+			t.Errorf("%s: heuristic model did not predict (fallback=%v chosen=%v)",
+				tc.name, d.UsedFallback, d.Chosen)
+			continue
+		}
+		if d.Predicted != tc.want {
+			t.Errorf("%s: predicted %v, want %v", tc.name, d.Predicted, tc.want)
+		}
+	}
+}
+
+func TestCSRSpMVCorrectnessProperty(t *testing.T) {
+	tuner := NewTuner[float64](HeuristicModel(), 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(50), 1+rng.Intn(50)
+		var es []Entry[float64]
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < 0.2 {
+					es = append(es, Entry[float64]{Row: r, Col: c, Val: rng.NormFloat64()})
+				}
+			}
+		}
+		a, err := FromEntries(rows, cols, es)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, rows)
+		if err := tuner.CSRSpMV(a, x, y); err != nil {
+			t.Logf("CSRSpMV: %v", err)
+			return false
+		}
+		want := make([]float64, rows)
+		a.CSR().ToDense().MulVec(x, want)
+		return matrix.VecApproxEqual(y, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSpMVDimensionChecks(t *testing.T) {
+	tuner := NewTuner[float64](HeuristicModel(), 1)
+	a, err := FromEntries(3, 4, []Entry[float64]{{Row: 0, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.CSRSpMV(a, make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := tuner.CSRSpMV(a, make([]float64, 4), make([]float64, 2)); err == nil {
+		t.Error("short y accepted")
+	}
+}
+
+func TestCSRSpMVCachesTuning(t *testing.T) {
+	tuner := NewTuner[float64](HeuristicModel(), 2)
+	a, err := FromEntries(500, 500, diagEntries(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	if err := tuner.CSRSpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	op1 := a.op
+	if err := tuner.CSRSpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if a.op != op1 {
+		t.Error("tuning not cached across calls")
+	}
+	// A different tuner must re-tune.
+	tuner2 := NewTuner[float64](HeuristicModel(), 1)
+	if err := tuner2.CSRSpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if a.op == op1 {
+		t.Error("cache not invalidated for new tuner")
+	}
+}
+
+func TestReadMatrixMarket(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3\n2 2 4\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("nnz = %d", a.NNZ())
+	}
+	if _, err := ReadMatrixMarket(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestModelSaveLoadViaPublicAPI(t *testing.T) {
+	m := HeuristicModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ConfidenceThreshold != m.ConfidenceThreshold || len(back.Ruleset.Rules) != len(m.Ruleset.Rules) {
+		t.Error("round trip changed model")
+	}
+}
+
+func TestMatrixFeatures(t *testing.T) {
+	a, err := FromEntries(100, 100, diagEntries(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := a.Features()
+	if f.Ndiags != 3 || f.NTdiagsRatio != 1.0 {
+		t.Errorf("features = %+v, want 3 full diagonals", f)
+	}
+}
+
+func TestTrainModelTiny(t *testing.T) {
+	// A fast end-to-end pass through the public training entry point.
+	model, err := TrainModel(TrainOptions{
+		Scale:  0.01,
+		TrainN: 40,
+		Seed:   5,
+		Fast:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Ruleset == nil || len(model.Ruleset.Rules) == 0 {
+		t.Fatal("trained model empty")
+	}
+	// The trained model must drive a working tuner.
+	tuner := NewTuner[float64](model, 2)
+	a, err := FromEntries(200, 200, diagEntries(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 200)
+	if err := tuner.CSRSpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 200)
+	a.CSR().ToDense().MulVec(x, want)
+	if !matrix.VecApproxEqual(y, want, 1e-9) {
+		t.Error("trained tuner wrong result")
+	}
+}
+
+func TestFloat32PublicAPI(t *testing.T) {
+	tuner := NewTuner[float32](HeuristicModel(), 2)
+	var es []Entry[float32]
+	for i := 0; i < 100; i++ {
+		es = append(es, Entry[float32]{Row: i, Col: i, Val: 2})
+	}
+	a, err := FromEntries(100, 100, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 100)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	y := make([]float32, 100)
+	if err := tuner.CSRSpMV(a, x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if y[i] != 2*float32(i) {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], 2*float32(i))
+		}
+	}
+}
