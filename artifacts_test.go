@@ -20,7 +20,7 @@ func TestShippedModelLoads(t *testing.T) {
 	if len(model.Ruleset.Rules) == 0 {
 		t.Fatal("shipped model has no rules")
 	}
-	tuner := NewTuner[float64](model, 1)
+	tuner := NewTuner[float64](model, WithThreads(1))
 	a, err := FromEntries(200, 200, diagEntries(200))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,123 @@
+// Benchmarks and checks for the serving runtime's decision cache: a cold
+// Tune (execute-and-measure regime) against a cache-hit Tune on a corpus
+// representative matrix. cmd/smat-bench -experiment cache prints the same
+// comparison as a table.
+package smat_test
+
+import (
+	"testing"
+	"time"
+
+	"smat"
+	"smat/internal/corpus"
+)
+
+// cacheBenchMatrix builds a corpus representative matrix (pkustk14, the
+// heavy irregular class) at reduced scale.
+func cacheBenchMatrix(tb testing.TB) *smat.Matrix[float64] {
+	tb.Helper()
+	reps := corpus.Representatives(0.05)
+	m := reps[8].Matrix() // pkustk14: structural, irregular heavy
+	a, err := smat.NewCSR(m.Rows, m.Cols, m.RowPtr, m.ColIdx, m.Vals)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+// cacheBenchTuner builds a tuner whose confidence threshold forces the
+// execute-and-measure path on a cold decision — the expensive regime the
+// cache amortises.
+func cacheBenchTuner(cacheSize int) *smat.Tuner[float64] {
+	return smat.NewTuner[float64](smat.HeuristicModel(),
+		smat.WithThreads(2),
+		smat.WithCacheSize(cacheSize),
+		smat.WithConfidenceThreshold(0.999))
+}
+
+// BenchmarkTuneCold measures the full tuning pass with caching disabled:
+// feature extraction, rule walk, and the execute-and-measure fallback.
+func BenchmarkTuneCold(b *testing.B) {
+	tuner := cacheBenchTuner(-1)
+	a := cacheBenchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuner.Tune(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuneCacheHit measures the cache-hit path: feature extraction,
+// fingerprint lookup, and format conversion only.
+func BenchmarkTuneCacheHit(b *testing.B) {
+	tuner := cacheBenchTuner(4096)
+	a := cacheBenchMatrix(b)
+	if _, err := tuner.Tune(a); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuner.Tune(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := tuner.Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+	b.ReportMetric(100*st.HitRate(), "hit-rate-%")
+}
+
+// TestCacheHitTuningSpeedup asserts the acceptance bar: on a corpus
+// representative matrix the cache-hit tuning path is ≥ 10× cheaper than a
+// cold Tune, and Tuner.Stats reports the hits. Timing on a loaded machine
+// is noisy, so the comparison uses best-of-several on both sides and
+// retries before failing.
+func TestCacheHitTuningSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing ratio is not meaningful under the race detector")
+	}
+	a := cacheBenchMatrix(t)
+
+	cold := cacheBenchTuner(-1)
+	warm := cacheBenchTuner(4096)
+	if _, err := warm.Tune(a); err != nil {
+		t.Fatal(err)
+	}
+
+	minOver := func(n int, tune func() error) float64 {
+		best := 0.0
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if err := tune(); err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(start).Seconds(); i == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+
+	var coldSec, hitSec float64
+	for attempt := 0; attempt < 5; attempt++ {
+		coldSec = minOver(3, func() error { _, err := cold.Tune(a); return err })
+		hitSec = minOver(20, func() error { _, err := warm.Tune(a); return err })
+		if coldSec >= 10*hitSec {
+			break
+		}
+	}
+	t.Logf("cold %.3gs vs cache hit %.3gs (%.1fx)", coldSec, hitSec, coldSec/hitSec)
+	if coldSec < 10*hitSec {
+		t.Errorf("cache-hit Tune %.3gs is not ≥10x cheaper than cold %.3gs", hitSec, coldSec)
+	}
+
+	st := warm.Stats()
+	if st.Hits < 20 {
+		t.Errorf("stats report %d hits, want ≥ 20 (stats %+v)", st.Hits, st)
+	}
+	d := a.Operator().Decision()
+	if !d.CacheHit {
+		t.Errorf("last decision not marked as cache hit: %+v", d)
+	}
+}

@@ -105,8 +105,9 @@ func main() {
 	fmt.Printf("Hypre-proxy AMG: %8.1f ms  (%d V-cycles, relres %.2e)\n",
 		float64(dBase.Microseconds())/1000, sBase.Iterations, sBase.RelResidual)
 
-	// SMAT: tuned operator per level.
-	tuner := autotune.NewTuner[float64](model, *threads)
+	// SMAT: tuned operator per level. The decision cache dedups tuning for
+	// structurally similar coarse levels.
+	tuner := autotune.New[float64](model, autotune.Config{Threads: *threads, CacheSize: 512})
 	tuneStart := time.Now()
 	level := 0
 	if err := h.Bind(func(m *matrix.CSR[float64]) (amg.SpMV[float64], error) {
@@ -120,7 +121,9 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SMAT tuning of all operators: %s\n", time.Since(tuneStart).Round(time.Millisecond))
+	st := tuner.Stats()
+	fmt.Printf("SMAT tuning of all operators: %s (decision cache: %d hits, %d misses)\n",
+		time.Since(tuneStart).Round(time.Millisecond), st.Hits, st.Misses)
 	solve() // warm up
 	dSmat, sSmat := solve()
 	fmt.Printf("SMAT AMG:        %8.1f ms  (%d V-cycles, relres %.2e)\n",

@@ -6,7 +6,7 @@
 //
 // Experiments: table1, figure1, figure3, figure6, figure9, figure10,
 // table3, table4, ablation-threshold, ablation-tailoring,
-// ablation-features, ablation-scoreboard, all.
+// ablation-features, ablation-scoreboard, extensions, cache, all.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("smat-bench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, extensions, cache, all)")
 		modelPath  = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
 		scale      = flag.Float64("scale", 0.25, "workload size scale (0,1]")
 		stride     = flag.Int("stride", 8, "corpus sampling stride for corpus-wide experiments")
@@ -108,12 +108,16 @@ func main() {
 			bench.Extensions(cfg)
 			return nil
 		},
+		"cache": func() error {
+			bench.CacheBench(cfg)
+			return nil
+		},
 	}
 	order := []string{
 		"table1", "figure1", "figure3", "figure6", "figure9", "figure10",
 		"table3", "table4",
 		"ablation-threshold", "ablation-tailoring", "ablation-features", "ablation-scoreboard",
-		"extensions",
+		"extensions", "cache",
 	}
 
 	switch *experiment {

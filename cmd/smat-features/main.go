@@ -90,6 +90,7 @@ func main() {
 		}
 		feat := features.Extract(m)
 		fmt.Printf("%s: %s\n", path, feat.String())
+		fmt.Printf("%s: fingerprint %016x (decision-cache key)\n", path, feat.Key().Hash())
 		if labeler != nil {
 			lbl := labeler.Label(m)
 			var parts []string

@@ -22,9 +22,12 @@ func main() {
 	log.SetPrefix("smat-spmv: ")
 
 	var (
-		modelPath = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
-		iters     = flag.Int("iters", 100, "SpMV iterations to time")
-		threads   = flag.Int("threads", 0, "threads (0 = model/GOMAXPROCS)")
+		modelPath  = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
+		iters      = flag.Int("iters", 100, "SpMV iterations to time")
+		threads    = flag.Int("threads", 0, "threads (0 = model/GOMAXPROCS)")
+		cacheSize  = flag.Int("cache-size", 0, "decision cache entries (0 = default, <0 = disabled)")
+		noFallback = flag.Bool("no-fallback", false, "disable the execute-and-measure fallback")
+		confidence = flag.Float64("confidence", 0, "confidence threshold override (0 = model's)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,7 +57,17 @@ func main() {
 	feat := a.Features()
 	fmt.Printf("features: %s\n", feat.String())
 
-	tuner := smat.NewTuner[float64](model, *threads)
+	opts := []smat.Option{smat.WithThreads(*threads)}
+	if *cacheSize != 0 {
+		opts = append(opts, smat.WithCacheSize(*cacheSize))
+	}
+	if *noFallback {
+		opts = append(opts, smat.WithoutFallback())
+	}
+	if *confidence > 0 {
+		opts = append(opts, smat.WithConfidenceThreshold(*confidence))
+	}
+	tuner := smat.NewTuner[float64](model, opts...)
 	start := time.Now()
 	op, err := tuner.Tune(a)
 	if err != nil {
@@ -83,4 +96,7 @@ func main() {
 	sec := time.Since(start).Seconds() / float64(*iters)
 	fmt.Printf("performance: %.2f GFLOPS (%.3g s per SpMV over %d iterations)\n",
 		float64(2*a.NNZ())/sec/1e9, sec, *iters)
+	st := tuner.Stats()
+	fmt.Printf("decision cache: %d hits, %d misses, %d shared, %d/%d entries\n",
+		st.Hits, st.Misses, st.Shared, st.Size, st.Capacity)
 }

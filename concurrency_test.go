@@ -1,0 +1,197 @@
+package smat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+// TestConcurrentCSRSpMVSharedAndDistinct hammers one Tuner from many
+// goroutines on a shared matrix handle and on per-goroutine handles,
+// checking every result. Run under `go test -race` it is the concurrency
+// contract of the public API: 16 goroutines × 80 iterations = 1280
+// concurrent CSRSpMV calls.
+func TestConcurrentCSRSpMVSharedAndDistinct(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 80
+		n          = 400
+	)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(2), WithCacheSize(256))
+
+	shared, err := FromEntries(n, n, diagEntries(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) + 1
+	}
+	wantShared := make([]float64, n)
+	shared.CSR().ToDense().MulVec(x, wantShared)
+
+	// Per-goroutine matrices: each goroutine owns a random matrix with its
+	// own expected result.
+	own := make([]*Matrix[float64], goroutines)
+	wantOwn := make([][]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		m := gen.RandomUniform[float64](n, n, 5, rand.New(rand.NewSource(int64(g+1))))
+		a := &Matrix[float64]{csr: m}
+		own[g] = a
+		wantOwn[g] = make([]float64, n)
+		m.ToDense().MulVec(x, wantOwn[g])
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			y := make([]float64, n)
+			for i := 0; i < iters; i++ {
+				a, want := shared, wantShared
+				if i%2 == 1 {
+					a, want = own[g], wantOwn[g]
+				}
+				if err := tuner.CSRSpMV(a, x, y); err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if !matrix.VecApproxEqual(y, want, 1e-9) {
+					t.Errorf("goroutine %d iter %d: wrong result", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	st := tuner.Stats()
+	if total := st.Hits + st.Misses + st.Shared; total == 0 {
+		t.Error("decision cache saw no traffic")
+	}
+	if shared.Operator() == nil {
+		t.Error("shared handle lost its operator")
+	}
+}
+
+// TestConcurrentFirstUseTunesOnce checks the per-handle once guard: many
+// goroutines issuing the first CSRSpMV on one un-tuned matrix must agree on
+// a single operator.
+func TestConcurrentFirstUseTunesOnce(t *testing.T) {
+	const goroutines = 12
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(1))
+	a, err := FromEntries(600, 600, diagEntries(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 600)
+	for i := range x {
+		x[i] = 1
+	}
+	start := make(chan struct{})
+	ops := make([]*Operator[float64], goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			y := make([]float64, 600)
+			if err := tuner.CSRSpMV(a, x, y); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			ops[g] = a.Operator()
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if ops[g] != ops[0] {
+			t.Fatalf("goroutine %d saw a different operator: first use was tuned more than once", g)
+		}
+	}
+	if st := tuner.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 tuning run for one handle", st.Misses)
+	}
+}
+
+// TestConcurrentTwoTunersOneMatrix drives one handle from two tuners at
+// once. The ownership rule makes each call either reuse its own tuner's
+// operator or atomically re-tune; results must stay correct throughout and
+// the handle must end up owned by one of the two.
+func TestConcurrentTwoTunersOneMatrix(t *testing.T) {
+	const n = 300
+	t1 := NewTuner[float64](HeuristicModel(), WithThreads(1))
+	t2 := NewTuner[float64](HeuristicModel(), WithThreads(2))
+	a, err := FromEntries(n, n, diagEntries(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	want := make([]float64, n)
+	a.CSR().ToDense().MulVec(x, want)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		tuner := t1
+		if g%2 == 1 {
+			tuner = t2
+		}
+		wg.Add(1)
+		go func(tuner *Tuner[float64], g int) {
+			defer wg.Done()
+			y := make([]float64, n)
+			for i := 0; i < 25; i++ {
+				if err := tuner.CSRSpMV(a, x, y); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !matrix.VecApproxEqual(y, want, 1e-9) {
+					t.Errorf("goroutine %d iter %d: wrong result", g, i)
+					return
+				}
+			}
+		}(tuner, g)
+	}
+	wg.Wait()
+	if a.Operator() == nil {
+		t.Error("handle lost its operator")
+	}
+}
+
+// TestConcurrentTuneAndStats exercises Tune and Stats racing each other —
+// Stats must be callable at any time without synchronisation by the caller.
+func TestConcurrentTuneAndStats(t *testing.T) {
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(1), WithCacheSize(8))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			m := gen.RandomUniform[float64](200+i*10, 200+i*10, 4, rand.New(rand.NewSource(int64(i))))
+			a := &Matrix[float64]{csr: m}
+			if _, err := tuner.Tune(a); err != nil {
+				t.Errorf("Tune: %v", err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			_ = tuner.Stats()
+		}
+	}
+}

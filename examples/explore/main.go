@@ -32,7 +32,7 @@ func main() {
 
 	model := smat.HeuristicModel()
 	fmt.Printf("model: %d rules, confidence threshold %.2f\n\n", len(model.Ruleset.Rules), model.ConfidenceThreshold)
-	tuner := smat.NewTuner[float64](model, 0)
+	tuner := smat.NewTuner[float64](model)
 
 	for _, c := range cases {
 		a, err := smat.NewCSR(c.m.Rows, c.m.Cols, c.m.RowPtr, c.m.ColIdx, c.m.Vals)

@@ -42,7 +42,7 @@ func main() {
 	link := norm.Transpose()
 	a := wrap(link)
 
-	tuner := smat.NewTuner[float64](smat.HeuristicModel(), 0)
+	tuner := smat.NewTuner[float64](smat.HeuristicModel())
 	op, err := tuner.Tune(a)
 	if err != nil {
 		log.Fatal(err)

@@ -33,8 +33,10 @@ func main() {
 	}
 
 	// A tuner needs a model: the built-in heuristic one works out of the
-	// box; `smat-train` produces a better, machine-learned one.
-	tuner := smat.NewTuner[float64](smat.HeuristicModel(), 0)
+	// box; `smat-train` produces a better, machine-learned one. Options
+	// (WithThreads, WithCacheSize, ...) configure the serving runtime; the
+	// defaults are fine here.
+	tuner := smat.NewTuner[float64](smat.HeuristicModel())
 
 	// The paper's SMAT_dCSR_SpMV: y = A·x with automatic format selection.
 	x := make([]float64, n)
@@ -46,11 +48,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	op, err := tuner.Tune(a) // returns the cached decision
-	if err != nil {
-		log.Fatal(err)
-	}
-	d := op.Decision()
+	// The decision is cached on the handle; inspect it without re-tuning.
+	d := a.Operator().Decision()
 	fmt.Printf("matrix: %d x %d, %d nonzeros\n", n, n, a.NNZ())
 	fmt.Printf("SMAT chose %s (kernel %s)\n", d.Chosen, d.Kernel)
 	if d.PredictedOK {

@@ -1,0 +1,237 @@
+package autotune
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"smat/internal/features"
+	"smat/internal/matrix"
+)
+
+// DefaultCacheSize bounds the decision cache when Config.CacheSize is zero.
+const DefaultCacheSize = 1024
+
+// cacheShards is the shard fan-out of the decision cache. 64 shards keep
+// lock contention negligible even with hundreds of concurrent tuning
+// requests while costing only a few kilobytes of fixed overhead.
+const cacheShards = 64
+
+// CacheEntry is one cached tuning decision: the winning format and kernel
+// for a feature fingerprint, plus how the decision was reached. Confidence
+// is the matched rule-group confidence for model predictions and 1 for
+// measured (execute-and-measure) winners; Measured separates the two so a
+// low-confidence predicted entry can later be refreshed by a tuner that is
+// willing to measure.
+type CacheEntry struct {
+	Format     matrix.Format
+	Kernel     string
+	Confidence float64
+	Measured   bool
+}
+
+// CacheStats is a point-in-time snapshot of the decision cache counters.
+type CacheStats struct {
+	// Hits counts lookups answered by a cached entry; Misses counts lookups
+	// that ran a full tuning pass as singleflight leader.
+	Hits, Misses uint64
+	// Shared counts callers that blocked on another goroutine's in-flight
+	// tuning run for the same fingerprint and reused its result.
+	Shared uint64
+	// Evictions counts entries dropped by the LRU bound; Refreshes counts
+	// low-confidence entries replaced by a re-tune.
+	Evictions, Refreshes uint64
+	// Size is the current entry count, Capacity the configured bound.
+	Size, Capacity int
+}
+
+// HitRate returns the fraction of lookups served without a tuning run.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// Cache is a sharded, LRU-bounded map from feature fingerprints to tuning
+// decisions with singleflight deduplication: N concurrent requests for the
+// same un-tuned fingerprint trigger exactly one tuning run while the rest
+// block on its result. All methods are safe for concurrent use. The cache
+// stores decisions (format + kernel name), not operators, so one cache can
+// be shared by tuners of different element types.
+type Cache struct {
+	capacity int // total bound; each shard holds capacity/cacheShards
+	shards   [cacheShards]cacheShard
+
+	hits, misses, shared, evictions, refreshes atomic.Uint64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	lru      list.List // front = most recently used; values are *cacheNode
+	entries  map[features.Key]*list.Element
+	inflight map[features.Key]*flight
+}
+
+type cacheNode struct {
+	key   features.Key
+	entry CacheEntry
+}
+
+// flight is one in-progress tuning run that waiters block on.
+type flight struct {
+	done  chan struct{}
+	entry CacheEntry
+	err   error
+}
+
+// NewCache builds a decision cache bounded to roughly capacity entries
+// (the bound is enforced per shard, so the worst-case total is capacity
+// rounded up to a multiple of the shard count). capacity ≤ 0 selects
+// DefaultCacheSize.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	c := &Cache{capacity: capacity}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[features.Key]*list.Element)
+		c.shards[i].inflight = make(map[features.Key]*flight)
+	}
+	return c
+}
+
+func (c *Cache) shard(k features.Key) *cacheShard {
+	return &c.shards[k.Hash()%cacheShards]
+}
+
+func (c *Cache) perShardCap() int {
+	if n := c.capacity / cacheShards; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// Do returns the cached decision for key, or runs tune — exactly once
+// across all concurrent callers of the same key — and caches its result.
+// The second return value reports whether the decision came from the cache
+// (a hit, or another caller's completed in-flight run) rather than from
+// this caller's own tune invocation.
+//
+// A cached entry that was not measured and whose confidence is below
+// refreshBelow is treated as stale: it is removed and re-tuned, so a
+// decision recorded by a low-confidence prediction can be upgraded by a
+// tuner willing to run the execute-and-measure fallback.
+//
+// Errors from tune are returned to the leader and never cached; waiters on
+// a failed run retry as leaders of their own tuning run.
+func (c *Cache) Do(key features.Key, refreshBelow float64, tune func() (CacheEntry, error)) (CacheEntry, bool, error) {
+	s := c.shard(key)
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			n := el.Value.(*cacheNode)
+			if n.entry.Measured || n.entry.Confidence >= refreshBelow {
+				s.lru.MoveToFront(el)
+				entry := n.entry
+				s.mu.Unlock()
+				c.hits.Add(1)
+				return entry, true, nil
+			}
+			// Stale low-confidence entry: drop it and re-tune below.
+			s.lru.Remove(el)
+			delete(s.entries, key)
+			c.refreshes.Add(1)
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				// The leader failed on its matrix; run our own tuning pass.
+				continue
+			}
+			c.shared.Add(1)
+			return f.entry, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		s.mu.Unlock()
+
+		c.misses.Add(1)
+		entry, err := tune()
+		f.entry, f.err = entry, err
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			c.insertLocked(s, key, entry)
+		}
+		s.mu.Unlock()
+		close(f.done)
+		return entry, false, err
+	}
+}
+
+// Get returns the cached decision without side effects on the counters or
+// the in-flight table (the LRU position is still bumped).
+func (c *Cache) Get(key features.Key) (CacheEntry, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*cacheNode).entry, true
+	}
+	return CacheEntry{}, false
+}
+
+// Put inserts or replaces a decision directly, bypassing singleflight.
+func (c *Cache) Put(key features.Key, entry CacheEntry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	c.insertLocked(s, key, entry)
+	s.mu.Unlock()
+}
+
+// insertLocked adds or refreshes an entry in s, evicting from the LRU tail
+// to stay within the per-shard bound. Caller holds s.mu.
+func (c *Cache) insertLocked(s *cacheShard, key features.Key, entry CacheEntry) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheNode).entry = entry
+		s.lru.MoveToFront(el)
+		return
+	}
+	for cap := c.perShardCap(); s.lru.Len() >= cap; {
+		back := s.lru.Back()
+		delete(s.entries, back.Value.(*cacheNode).key)
+		s.lru.Remove(back)
+		c.evictions.Add(1)
+	}
+	s.entries[key] = s.lru.PushFront(&cacheNode{key: key, entry: entry})
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Refreshes: c.refreshes.Load(),
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+	}
+}

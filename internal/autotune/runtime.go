@@ -26,6 +26,12 @@ type Decision struct {
 	UsedFallback bool
 	Measured     map[matrix.Format]float64
 
+	// CacheHit reports that the decision was served from the tuner's
+	// feature-keyed cache: no rule evaluation or measurement ran, only
+	// feature extraction and format conversion. On a hit, Predicted and
+	// Confidence describe the cached entry.
+	CacheHit bool
+
 	// Chosen is the final format; Kernel the implementation name.
 	Chosen matrix.Format
 	Kernel string
@@ -71,22 +77,56 @@ func (o *Operator[T]) NNZ() int { return o.nnz }
 func (o *Operator[T]) Dims() (rows, cols int) { return o.mat.Dims() }
 
 // Tuner is the runtime component: it holds a trained model and produces
-// tuned operators from CSR inputs.
+// tuned operators from CSR inputs. All methods are safe for concurrent use:
+// the decision cache is sharded and singleflight-deduplicated, and the rest
+// of the tuner state is immutable after construction.
 type Tuner[T matrix.Float] struct {
-	model   *Model
-	lib     *kernels.Library[T]
-	threads int
-	measure MeasureOptions
+	model      *Model
+	lib        *kernels.Library[T]
+	threads    int
+	measure    MeasureOptions
+	cache      *Cache
+	threshold  float64
+	noFallback bool
 }
 
-// NewTuner builds a runtime tuner from a trained model. threads ≤ 0 uses the
-// model's trained thread count capped to GOMAXPROCS.
-func NewTuner[T matrix.Float](model *Model, threads int) *Tuner[T] {
+// Config configures a runtime tuner beyond the model itself.
+type Config struct {
+	// Threads is the kernel thread fan-out; ≤ 0 uses the model's trained
+	// thread count capped to GOMAXPROCS.
+	Threads int
+	// CacheSize bounds the feature-keyed decision cache: 0 selects
+	// DefaultCacheSize, a negative value disables caching entirely.
+	CacheSize int
+	// Cache, when non-nil, is used instead of building a new cache, so
+	// several tuners (e.g. one per element type) can share decisions.
+	Cache *Cache
+	// DisableFallback turns off the execute-and-measure path: when the
+	// model is not confident, the tuner picks the highest-confidence
+	// matching rule group (or CSR) instead of measuring. Such decisions are
+	// cached with their low confidence so a measuring tuner sharing the
+	// cache can refresh them.
+	DisableFallback bool
+	// ConfidenceThreshold overrides the model's trained threshold when > 0.
+	ConfidenceThreshold float64
+}
+
+// New builds a runtime tuner from a trained model and a Config.
+func New[T matrix.Float](model *Model, cfg Config) *Tuner[T] {
+	threads := cfg.Threads
 	if threads <= 0 {
 		threads = model.Threads
 	}
 	if max := runtime.GOMAXPROCS(0); threads <= 0 || threads > max {
 		threads = max
+	}
+	cache := cfg.Cache
+	if cache == nil && cfg.CacheSize >= 0 {
+		cache = NewCache(cfg.CacheSize)
+	}
+	threshold := cfg.ConfidenceThreshold
+	if threshold <= 0 {
+		threshold = model.ConfidenceThreshold
 	}
 	return &Tuner[T]{
 		model:   model,
@@ -94,8 +134,20 @@ func NewTuner[T matrix.Float](model *Model, threads int) *Tuner[T] {
 		threads: threads,
 		// Fallback measurements favour speed over precision: the paper keeps
 		// the whole fallback within ~16 CSR-SpMV executions.
-		measure: MeasureOptions{MinTime: 200 * time.Microsecond, Trials: 1},
+		measure:    MeasureOptions{MinTime: 200 * time.Microsecond, Trials: 1},
+		cache:      cache,
+		threshold:  threshold,
+		noFallback: cfg.DisableFallback,
 	}
+}
+
+// NewTuner builds a runtime tuner from a trained model. threads ≤ 0 uses the
+// model's trained thread count capped to GOMAXPROCS.
+//
+// Deprecated: use New, which also configures the decision cache and
+// fallback behaviour.
+func NewTuner[T matrix.Float](model *Model, threads int) *Tuner[T] {
+	return New[T](model, Config{Threads: threads})
 }
 
 // Threads returns the tuner's thread configuration.
@@ -103,6 +155,19 @@ func (t *Tuner[T]) Threads() int { return t.threads }
 
 // Model returns the underlying trained model.
 func (t *Tuner[T]) Model() *Model { return t.model }
+
+// Cache returns the tuner's decision cache (nil when caching is disabled).
+// Pass it to another tuner's Config.Cache to share decisions.
+func (t *Tuner[T]) Cache() *Cache { return t.cache }
+
+// Stats snapshots the decision cache counters; the zero value is returned
+// when caching is disabled.
+func (t *Tuner[T]) Stats() CacheStats {
+	if t.cache == nil {
+		return CacheStats{}
+	}
+	return t.cache.Stats()
+}
 
 // kernelFor resolves the model's kernel choice for a format.
 func (t *Tuner[T]) kernelFor(f matrix.Format) *kernels.Kernel[T] {
@@ -115,15 +180,93 @@ func (t *Tuner[T]) kernelFor(f matrix.Format) *kernels.Kernel[T] {
 }
 
 // Tune runs the paper's Figure 7 runtime procedure on a CSR matrix: feature
-// extraction, ordered rule-group evaluation against the confidence
-// threshold, and the execute-and-measure fallback when the model is not
-// confident. It returns the tuned operator and the full decision record.
+// extraction, then — unless the feature-keyed decision cache already holds
+// the answer — ordered rule-group evaluation against the confidence
+// threshold and the execute-and-measure fallback when the model is not
+// confident. Concurrent calls for matrices with the same feature
+// fingerprint are deduplicated: one call tunes, the rest block on its
+// decision. It returns the tuned operator and the full decision record.
 func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 	d := &Decision{}
 
 	start := time.Now()
 	d.Features = features.Extract(m)
 	d.FeatureSec = time.Since(start).Seconds()
+
+	if t.cache == nil {
+		op, err := t.decide(m, d)
+		return op, d, err
+	}
+
+	key := d.Features.Key()
+	var leaderOp *Operator[T]
+	entry, fromCache, err := t.cache.Do(key, t.refreshBelow(), func() (CacheEntry, error) {
+		op, err := t.decide(m, d)
+		if err != nil {
+			return CacheEntry{}, err
+		}
+		leaderOp = op
+		conf := d.Confidence
+		if d.UsedFallback {
+			conf = 1 // measured ground truth
+		}
+		return CacheEntry{Format: d.Chosen, Kernel: d.Kernel, Confidence: conf, Measured: d.UsedFallback}, nil
+	})
+	if err != nil {
+		return nil, d, err
+	}
+	if !fromCache {
+		return leaderOp, d, nil
+	}
+	// The decision came from the cache (or from a concurrent leader tuning
+	// an identical-fingerprint matrix): apply it to this matrix.
+	op, err := t.apply(m, d, entry)
+	if err != nil {
+		// The cached format does not fit this matrix — a fingerprint
+		// collision with a structurally different matrix. Decide locally
+		// without disturbing the cached entry.
+		op, err = t.decide(m, d)
+	}
+	return op, d, err
+}
+
+// apply materialises a cached decision for one concrete matrix: convert to
+// the cached format and bind the cached kernel. It fails only when the
+// format's zero-fill guard rejects this particular matrix.
+func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Operator[T], error) {
+	start := time.Now()
+	mat, err := kernels.Convert(m, entry.Format, t.model.MaxFill)
+	d.ConvertSec = time.Since(start).Seconds()
+	if err != nil {
+		return nil, err
+	}
+	k := t.lib.Lookup(entry.Kernel)
+	if k == nil || k.Format != entry.Format {
+		k = t.kernelFor(entry.Format)
+	}
+	d.CacheHit = true
+	d.Predicted = entry.Format
+	d.PredictedOK = true
+	d.Confidence = entry.Confidence
+	d.Chosen = entry.Format
+	d.Kernel = k.Name
+	return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
+}
+
+// refreshBelow is the confidence bar under which a cached, un-measured
+// entry is re-tuned. A measuring tuner uses its confidence threshold (it
+// can replace a weak prediction with ground truth); a no-fallback tuner
+// never refreshes, since re-deciding could do no better.
+func (t *Tuner[T]) refreshBelow() float64 {
+	if t.noFallback {
+		return 0
+	}
+	return t.threshold
+}
+
+// decide runs the model + fallback decision procedure on an already
+// feature-extracted matrix, filling d and returning the tuned operator.
+func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	fv := d.Features.Vector()
 
 	// Rule groups in DIA → ELL → CSR → COO order (Section 6): the first
@@ -133,7 +276,7 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 		if !matched {
 			continue
 		}
-		if conf > t.model.ConfidenceThreshold && feasible(f, &d.Features, t.model.MaxFill) {
+		if conf > t.threshold && feasible(f, &d.Features, t.model.MaxFill) {
 			d.Predicted = f
 			d.PredictedOK = true
 			d.Confidence = conf
@@ -142,7 +285,7 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 	}
 
 	if d.PredictedOK {
-		start = time.Now()
+		start := time.Now()
 		mat, err := kernels.Convert(m, d.Predicted, t.model.MaxFill)
 		d.ConvertSec = time.Since(start).Seconds()
 		if err == nil {
@@ -150,19 +293,60 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 			k := t.kernelFor(d.Chosen)
 			d.Kernel = k.Name
 			t.accountCSRBaseline(m, d)
-			return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, d, nil
+			return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
 		}
 		// Fill guard rejected the predicted format; fall through to
-		// measurement.
+		// measurement (or the best-effort pick when fallback is off).
 		d.PredictedOK = false
+	}
+
+	if t.noFallback {
+		op, err := t.bestEffort(m, d, fv)
+		if err != nil {
+			return nil, err
+		}
+		t.accountCSRBaseline(m, d)
+		return op, nil
 	}
 
 	op, err := t.fallback(m, d)
 	if err != nil {
-		return nil, d, err
+		return nil, err
 	}
 	t.accountCSRBaseline(m, d)
-	return op, d, nil
+	return op, nil
+}
+
+// bestEffort is the no-fallback decision: the highest-confidence matching,
+// feasible rule group wins regardless of the threshold; with no match the
+// ruleset default (CSR) is used. The low confidence is recorded so a cached
+// copy of this decision can be refreshed by a measuring tuner.
+func (t *Tuner[T]) bestEffort(m *matrix.CSR[T], d *Decision, fv []float64) (*Operator[T], error) {
+	best := matrix.FormatCSR
+	bestConf := 0.0
+	for _, f := range matrix.Formats {
+		conf, matched := t.groupConfidence(fv, f)
+		if matched && conf > bestConf && feasible(f, &d.Features, t.model.MaxFill) {
+			best, bestConf = f, conf
+		}
+	}
+	start := time.Now()
+	mat, err := kernels.Convert(m, best, t.model.MaxFill)
+	if err != nil {
+		// The fill guard can still reject a feature-feasible format on edge
+		// cases; CSR always converts.
+		best, bestConf = matrix.FormatCSR, 0
+		mat, err = kernels.Convert(m, best, t.model.MaxFill)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.ConvertSec = time.Since(start).Seconds()
+	d.Confidence = bestConf
+	d.Chosen = best
+	k := t.kernelFor(best)
+	d.Kernel = k.Name
+	return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
 }
 
 // groupConfidence returns the confidence of the first rule of class f (in

@@ -1,0 +1,241 @@
+package autotune
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smat/internal/features"
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+// cloneScaled copies m's structure with every value multiplied by factor:
+// an identical fingerprint with different numerics.
+func cloneScaled(m *matrix.CSR[float64], factor float64) *matrix.CSR[float64] {
+	vals := make([]float64, len(m.Vals))
+	for i, v := range m.Vals {
+		vals[i] = v * factor
+	}
+	return &matrix.CSR[float64]{Rows: m.Rows, Cols: m.Cols, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Vals: vals}
+}
+
+func TestTuneCacheHitOnIdenticalStructure(t *testing.T) {
+	tuner := New[float64](modelAlways(matrix.FormatDIA, 0.99), Config{Threads: 2})
+	a := gen.MultiDiagonal[float64](1000, []int{-1, 0, 1}, rand.New(rand.NewSource(1)))
+	b := gen.MultiDiagonal[float64](1000, []int{-1, 0, 1}, rand.New(rand.NewSource(2)))
+
+	_, d1, err := tuner.Tune(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.CacheHit {
+		t.Error("first Tune reported a cache hit")
+	}
+	op, d2, err := tuner.Tune(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.CacheHit {
+		t.Error("structurally identical matrix missed the cache")
+	}
+	if d2.Chosen != matrix.FormatDIA || op.Format() != matrix.FormatDIA {
+		t.Errorf("cached decision chose %v, want DIA", d2.Chosen)
+	}
+	// The cached decision must still produce a correct operator for the
+	// *new* matrix (its values differ from the leader's).
+	x := make([]float64, b.Cols)
+	for i := range x {
+		x[i] = float64(i%5) + 1
+	}
+	got := make([]float64, b.Rows)
+	want := make([]float64, b.Rows)
+	op.MulVec(x, got)
+	b.ToDense().MulVec(x, want)
+	if !matrix.VecApproxEqual(got, want, 1e-9) {
+		t.Error("cache-hit operator produced wrong result")
+	}
+	st := tuner.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestTuneCacheCachesFallbackWinner(t *testing.T) {
+	// Low confidence forces execute-and-measure; the measured winner must
+	// be cached so the second matrix skips the measurement entirely.
+	tuner := New[float64](modelAlways(matrix.FormatDIA, 0.30), Config{Threads: 2})
+	a := gen.RandomUniform[float64](1500, 1500, 6, rand.New(rand.NewSource(3)))
+	b := cloneScaled(a, 2.5)
+
+	_, d1, err := tuner.Tune(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.UsedFallback {
+		t.Fatal("expected fallback on low confidence")
+	}
+	_, d2, err := tuner.Tune(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.CacheHit || d2.UsedFallback {
+		t.Errorf("second Tune: CacheHit=%v UsedFallback=%v, want hit without fallback", d2.CacheHit, d2.UsedFallback)
+	}
+	if d2.Chosen != d1.Chosen {
+		t.Errorf("cached decision %v differs from measured winner %v", d2.Chosen, d1.Chosen)
+	}
+	if d2.Confidence != 1 {
+		t.Errorf("measured entry confidence = %g, want 1", d2.Confidence)
+	}
+}
+
+func TestTuneCacheDisabled(t *testing.T) {
+	tuner := New[float64](modelAlways(matrix.FormatDIA, 0.99), Config{Threads: 1, CacheSize: -1})
+	a := gen.MultiDiagonal[float64](500, []int{0}, rand.New(rand.NewSource(5)))
+	for i := 0; i < 2; i++ {
+		_, d, err := tuner.Tune(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if st := tuner.Stats(); st != (CacheStats{}) {
+		t.Errorf("stats = %+v, want zero value", st)
+	}
+}
+
+func TestTuneNoFallbackBestEffort(t *testing.T) {
+	// Low confidence + DisableFallback: no measurement may run; the
+	// highest-confidence matching group (here the only rule, DIA — but the
+	// matrix is irregular so DIA is infeasible) degrades to CSR.
+	tuner := New[float64](modelAlways(matrix.FormatDIA, 0.30), Config{Threads: 1, DisableFallback: true})
+	m := gen.RandomUniform[float64](1200, 1200, 6, rand.New(rand.NewSource(6)))
+	op, d, err := tuner.Tune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UsedFallback {
+		t.Error("fallback ran despite DisableFallback")
+	}
+	if d.Chosen != matrix.FormatCSR {
+		t.Errorf("best effort chose %v, want CSR for irregular matrix", d.Chosen)
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	got := make([]float64, m.Rows)
+	want := make([]float64, m.Rows)
+	op.MulVec(x, got)
+	m.ToDense().MulVec(x, want)
+	if !matrix.VecApproxEqual(got, want, 1e-9) {
+		t.Error("best-effort operator wrong result")
+	}
+}
+
+func TestSharedCacheRefreshAcrossTuners(t *testing.T) {
+	// A no-fallback tuner records a low-confidence decision; a measuring
+	// tuner sharing the cache refreshes it with ground truth.
+	model := modelAlways(matrix.FormatDIA, 0.30)
+	noMeasure := New[float64](model, Config{Threads: 1, DisableFallback: true})
+	m := gen.RandomUniform[float64](1500, 1500, 6, rand.New(rand.NewSource(7)))
+	_, d1, err := noMeasure.Tune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.UsedFallback || d1.CacheHit {
+		t.Fatalf("unexpected first decision %+v", d1)
+	}
+
+	measuring := New[float64](model, Config{Threads: 1, Cache: noMeasure.Cache()})
+	_, d2, err := measuring.Tune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.UsedFallback {
+		t.Error("measuring tuner served the stale low-confidence entry instead of refreshing")
+	}
+	if st := measuring.Stats(); st.Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", st.Refreshes)
+	}
+	// After the refresh, even the no-fallback tuner sees the measured entry.
+	_, d3, err := noMeasure.Tune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.CacheHit || d3.Confidence != 1 {
+		t.Errorf("post-refresh decision %+v, want measured cache hit", d3)
+	}
+}
+
+func TestTuneCacheCollisionFallsBackToLocalDecision(t *testing.T) {
+	// Force a pathological collision: seed the cache with a DIA decision
+	// under the fingerprint of a matrix for which DIA is infeasible. Tune
+	// must recover with a local decision and must not disturb the entry.
+	n := 2000
+	var ts []matrix.Triple[float64]
+	for i := 0; i < n; i++ {
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: n - 1 - i, Val: 1})
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: (i*7 + 3) % n, Val: 1})
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := New[float64](modelAlways(matrix.FormatCSR, 0.99), Config{Threads: 1})
+	feat := features.Extract(m)
+	key := feat.Key()
+	tuner.Cache().Put(key, CacheEntry{Format: matrix.FormatDIA, Kernel: "dia_basic", Confidence: 1, Measured: true})
+
+	op, d, err := tuner.Tune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CacheHit {
+		t.Error("infeasible cached format reported as a hit")
+	}
+	if d.Chosen == matrix.FormatDIA || op.Format() == matrix.FormatDIA {
+		t.Errorf("chose infeasible DIA (decision %+v)", d)
+	}
+	if e, ok := tuner.Cache().Get(key); !ok || e.Format != matrix.FormatDIA {
+		t.Error("collision recovery disturbed the cached entry")
+	}
+}
+
+func TestConcurrentTuneSingleflightOnTuner(t *testing.T) {
+	// 32 goroutines tune structurally identical matrices through one tuner
+	// with a slow (fallback) decision path: exactly one tuning run may
+	// execute; everyone else blocks on it or hits the cache.
+	tuner := New[float64](modelAlways(matrix.FormatDIA, 0.30), Config{Threads: 1})
+	const goroutines = 32
+	base := gen.RandomUniform[float64](1200, 1200, 6, rand.New(rand.NewSource(100)))
+	mats := make([]*matrix.CSR[float64], goroutines)
+	for i := range mats {
+		mats[i] = cloneScaled(base, float64(i+1))
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			op, _, err := tuner.Tune(mats[i])
+			if err != nil || op == nil {
+				t.Errorf("Tune: %v", err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	st := tuner.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 tuning run (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Shared != goroutines-1 {
+		t.Errorf("hits+shared = %d, want %d (stats %+v)", st.Hits+st.Shared, goroutines-1, st)
+	}
+}

@@ -288,3 +288,25 @@ func TestExtensions(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheBench(t *testing.T) {
+	var out bytes.Buffer
+	res := CacheBench(fastCfg(&out))
+	if len(res.Rows) != 16 {
+		t.Fatalf("got %d rows, want 16 representatives", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.HitSec <= 0 || row.ColdSec <= 0 || row.MeasureSec <= 0 {
+			t.Errorf("row %d (%s): non-positive timing %+v", row.Number, row.Name, row)
+		}
+	}
+	if res.GeoMeanSpeedup <= 0 || res.GeoMeanSpeedupMeasured <= 0 {
+		t.Errorf("speedups not computed: %+v", res)
+	}
+	if res.Stats.Hits == 0 || res.Stats.Misses == 0 {
+		t.Errorf("warm tuner cache saw no traffic: %+v", res.Stats)
+	}
+	if !strings.Contains(out.String(), "geometric-mean speedup") {
+		t.Error("printed output missing summary line")
+	}
+}

@@ -7,6 +7,7 @@ package features
 
 import (
 	"fmt"
+	"math"
 
 	"smat/internal/matrix"
 )
@@ -65,6 +66,97 @@ func (f *Features) String() string {
 	}
 	return fmt.Sprintf("{M=%d N=%d NNZ=%d aver_RD=%.2f max_RD=%.0f var_RD=%.2f Ndiags=%d NTdiags_ratio=%.2f ER_DIA=%.3f ER_ELL=%.3f R=%s}",
 		f.M, f.N, f.NNZ, f.AverRD, f.MaxRD, f.VarRD, f.Ndiags, f.NTdiagsRatio, f.ERDIA, f.ERELL, r)
+}
+
+// Key is a quantized fingerprint of a feature record, designed so that
+// structurally similar matrices — the ones for which a prior tuning decision
+// transfers — collapse onto the same value. Sizes (M, N, NNZ) and magnitude
+// parameters are bucketed on a quarter-log2 scale (matrices within ~19% of
+// each other share a bucket); the bounded structural ratios of Table 2 are
+// quantized to 1/32 steps; the power-law exponent R to 1/4 steps with a
+// sentinel for "not scale-free". Key is comparable and is the map key of the
+// runtime decision cache.
+type Key struct {
+	M, N, NNZ            uint8
+	AverRD, MaxRD, VarRD uint8
+	Ndiags               uint8
+	NTdiags, ERDIA, ERELL uint8
+	R                    int16
+}
+
+// qlog buckets a non-negative magnitude on a quarter-log2 scale.
+func qlog(x float64) uint8 {
+	if x <= 0 || math.IsNaN(x) {
+		return 0
+	}
+	b := math.Round(4 * math.Log2(1+x))
+	if b > 255 {
+		return 255
+	}
+	return uint8(b)
+}
+
+// qratio quantizes a ratio in [0, 1] to 1/32 steps.
+func qratio(x float64) uint8 {
+	if x <= 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x >= 1 {
+		return 32
+	}
+	return uint8(math.Round(32 * x))
+}
+
+// Key returns the quantized fingerprint of the record.
+func (f *Features) Key() Key {
+	k := Key{
+		M:       qlog(float64(f.M)),
+		N:       qlog(float64(f.N)),
+		NNZ:     qlog(float64(f.NNZ)),
+		AverRD:  qlog(f.AverRD),
+		MaxRD:   qlog(f.MaxRD),
+		VarRD:   qlog(f.VarRD),
+		Ndiags:  qlog(float64(f.Ndiags)),
+		NTdiags: qratio(f.NTdiagsRatio),
+		ERDIA:   qratio(f.ERDIA),
+		ERELL:   qratio(f.ERELL),
+	}
+	if f.R >= RNone {
+		k.R = math.MaxInt16
+	} else {
+		r := math.Round(4 * f.R)
+		switch {
+		case r > 1<<14:
+			k.R = 1 << 14
+		case r < -(1 << 14):
+			k.R = -(1 << 14)
+		default:
+			k.R = int16(r)
+		}
+	}
+	return k
+}
+
+// Hash mixes the key into a 64-bit value (FNV-1a over the fields), used by
+// the decision cache to pick a shard.
+func (k Key) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range [...]uint64{
+		uint64(k.M), uint64(k.N), uint64(k.NNZ),
+		uint64(k.AverRD), uint64(k.MaxRD), uint64(k.VarRD),
+		uint64(k.Ndiags), uint64(k.NTdiags), uint64(k.ERDIA), uint64(k.ERELL),
+		uint64(uint16(k.R)),
+	} {
+		h ^= b
+		h *= prime64
+		h ^= b >> 8
+		h *= prime64
+	}
+	return h
 }
 
 // Extract computes all feature parameters in two passes over the matrix, as

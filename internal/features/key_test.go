@@ -1,0 +1,81 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"smat/internal/gen"
+)
+
+func TestKeyStableAcrossValues(t *testing.T) {
+	// Two matrices with identical structure but different nonzero values
+	// must fingerprint identically: the decision depends on structure only.
+	a := gen.MultiDiagonal[float64](2000, []int{-1, 0, 1}, rand.New(rand.NewSource(1)))
+	b := gen.MultiDiagonal[float64](2000, []int{-1, 0, 1}, rand.New(rand.NewSource(99)))
+	fa, fb := Extract(a), Extract(b)
+	if fa.Key() != fb.Key() {
+		t.Errorf("same structure, different keys:\n%v\n%v", fa.Key(), fb.Key())
+	}
+}
+
+func TestKeyQuantizationBucketsNearbySizes(t *testing.T) {
+	// Quarter-log2 bucketing: a 1% size difference lands in the same
+	// bucket, a 2x difference does not.
+	a := Extract(gen.MultiDiagonal[float64](3000, []int{-1, 0, 1}, rand.New(rand.NewSource(1))))
+	b := Extract(gen.MultiDiagonal[float64](3010, []int{-1, 0, 1}, rand.New(rand.NewSource(2))))
+	c := Extract(gen.MultiDiagonal[float64](6000, []int{-1, 0, 1}, rand.New(rand.NewSource(3))))
+	if a.Key() != b.Key() {
+		t.Errorf("3000 vs 3010 rows should share a fingerprint:\n%v\n%v", a.Key(), b.Key())
+	}
+	if a.Key() == c.Key() {
+		t.Error("3000 vs 6000 rows should not share a fingerprint")
+	}
+}
+
+func TestKeySeparatesStructures(t *testing.T) {
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+	keys := map[Key]string{}
+	for _, tc := range []struct {
+		name string
+		f    Features
+	}{
+		{"tridiagonal", Extract(gen.MultiDiagonal[float64](3000, []int{-1, 0, 1}, rng(1)))},
+		{"constant-degree", Extract(gen.ConstantDegree[float64](3000, 4, rng(2)))},
+		{"power-law", Extract(gen.PreferentialAttachment[float64](3000, 3, rng(3)))},
+		{"random-uniform", Extract(gen.RandomUniform[float64](3000, 3000, 8, rng(4)))},
+	} {
+		k := tc.f.Key()
+		if prev, ok := keys[k]; ok {
+			t.Errorf("%s and %s collide on %v", prev, tc.name, k)
+		}
+		keys[k] = tc.name
+	}
+}
+
+func TestKeyHashSpreadsShards(t *testing.T) {
+	// The 16 corpus classes and size sweeps must not all pile onto a few
+	// shards: check that distinct keys spread over a reasonable number of
+	// 64-way buckets.
+	shards := map[uint64]bool{}
+	n := 0
+	for size := 500; size <= 50000; size = size * 3 / 2 {
+		f := Extract(gen.RandomUniform[float64](size, size, 6, rand.New(rand.NewSource(int64(size)))))
+		shards[f.Key().Hash()%64] = true
+		n++
+	}
+	if len(shards) < n/3 {
+		t.Errorf("%d distinct keys landed on only %d/64 shards", n, len(shards))
+	}
+}
+
+func TestKeyRNoneSentinel(t *testing.T) {
+	f := Features{R: RNone}
+	g := Features{R: 3.0}
+	h := Features{R: RNone}
+	if f.Key().R == g.Key().R {
+		t.Error("RNone must not collide with a finite exponent")
+	}
+	if f.Key() != h.Key() {
+		t.Error("RNone key not stable")
+	}
+}

@@ -38,7 +38,7 @@ func TestHeuristicModelIsValid(t *testing.T) {
 	}
 	// Every referenced kernel must exist in the library (checked indirectly:
 	// a tuner built from the model must resolve them, not fall back).
-	tuner := NewTuner[float64](m, 1)
+	tuner := NewTuner[float64](m, WithThreads(1))
 	a, err := FromEntries(100, 100, diagEntries(100))
 	if err != nil {
 		t.Fatal(err)
@@ -60,14 +60,14 @@ func TestHeuristicModelIsValid(t *testing.T) {
 }
 
 func TestTunerThreadsClamped(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 10000)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(10000))
 	if tuner.Threads() < 1 {
 		t.Error("threads < 1")
 	}
 }
 
 func TestOperatorAccessors(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 1)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(1))
 	a, err := FromEntries(50, 50, diagEntries(50))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package smat_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package smat_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; timing assertions are skipped under it.
+const raceEnabled = true

@@ -14,14 +14,21 @@
 // Typical use:
 //
 //	model := smat.HeuristicModel()            // or LoadModel / TrainModel
-//	tuner := smat.NewTuner[float64](model, 0)
+//	tuner := smat.NewTuner[float64](model, smat.WithThreads(8))
 //	a, _ := smat.FromEntries[float64](rows, cols, entries)
 //	tuner.CSRSpMV(a, x, y)                    // y = A·x, auto-tuned
+//
+// Tuner and Matrix are safe for concurrent use: tuning decisions land in a
+// sharded feature-keyed cache with singleflight deduplication, so the
+// tuning cost of a matrix structure is paid once and amortised across all
+// goroutines that hit it.
 package smat
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"smat/internal/autotune"
 	"smat/internal/matrix"
@@ -50,8 +57,24 @@ type Entry[T Float] struct {
 
 // Matrix is SMAT's matrix handle: a validated CSR matrix plus the cached
 // tuning result, so repeated CSRSpMV calls pay the tuning cost once.
+//
+// A Matrix is safe for concurrent use once constructed (the CSR payload is
+// immutable; the tuned-operator slot is updated atomically). The handle
+// caches the operator of the tuner that most recently tuned it — see
+// CSRSpMV for the ownership rules.
 type Matrix[T Float] struct {
-	csr   *matrix.CSR[T]
+	csr *matrix.CSR[T]
+
+	// tuned is the per-handle decision slot: loaded lock-free on the hot
+	// path, replaced atomically after tuning. tuneMu serialises tuning for
+	// this handle so N concurrent first uses run one tuning pass.
+	tuned  atomic.Pointer[tunedSlot[T]]
+	tuneMu sync.Mutex
+}
+
+// tunedSlot pairs a tuned operator with the tuner that produced it, so a
+// single atomic load tells CSRSpMV both what to run and whether it may.
+type tunedSlot[T Float] struct {
 	op    *Operator[T]
 	owner *Tuner[T]
 }
@@ -105,22 +128,118 @@ func (a *Matrix[T]) Features() Features {
 	return featuresOf(a.csr)
 }
 
-// Tuner holds a trained model and tunes matrices against it.
+// Tuner holds a trained model and tunes matrices against it. A Tuner is
+// safe for concurrent use by any number of goroutines: its decision cache
+// is sharded, and concurrent tuning requests for structurally identical
+// matrices are collapsed into a single tuning run (singleflight).
 type Tuner[T Float] struct {
 	inner *autotune.Tuner[T]
 }
 
-// NewTuner builds a runtime tuner. threads ≤ 0 selects the model's trained
-// configuration (capped to GOMAXPROCS).
-func NewTuner[T Float](model *Model, threads int) *Tuner[T] {
-	return &Tuner[T]{inner: autotune.NewTuner[T](model, threads)}
+// CacheStats reports the tuner's decision-cache counters; see Tuner.Stats.
+type CacheStats = autotune.CacheStats
+
+// tunerConfig collects the Option settings before they are translated to
+// the runtime configuration.
+type tunerConfig struct {
+	threads    int
+	cacheSize  int
+	cache      *autotune.Cache
+	noFallback bool
+	confidence float64
+}
+
+// Option configures NewTuner.
+type Option func(*tunerConfig)
+
+// WithThreads sets the kernel thread fan-out. n ≤ 0 selects the model's
+// trained configuration (capped to GOMAXPROCS), which is also the default.
+func WithThreads(n int) Option {
+	return func(c *tunerConfig) { c.threads = n }
+}
+
+// WithCacheSize bounds the feature-keyed decision cache to roughly n
+// entries (LRU-evicted beyond that). n ≤ 0 disables caching entirely; the
+// default is autotune's DefaultCacheSize (1024).
+func WithCacheSize(n int) Option {
+	return func(c *tunerConfig) {
+		if n <= 0 {
+			c.cacheSize = -1
+		} else {
+			c.cacheSize = n
+		}
+	}
+}
+
+// WithoutFallback disables the execute-and-measure fallback: when the model
+// is not confident, the tuner uses the highest-confidence matching rule
+// group (or CSR) instead of measuring. Decisions made this way are cached
+// with their low confidence recorded, so a measuring tuner sharing the
+// cache (WithCacheFrom) can later refresh them with ground truth.
+func WithoutFallback() Option {
+	return func(c *tunerConfig) { c.noFallback = true }
+}
+
+// WithConfidenceThreshold overrides the model's trained confidence
+// threshold (0 < th ≤ 1): predictions at or below th take the fallback
+// path. It also sets the refresh bar for cached low-confidence decisions.
+func WithConfidenceThreshold(th float64) Option {
+	return func(c *tunerConfig) { c.confidence = th }
+}
+
+// WithCacheFrom shares other's decision cache with the new tuner, so a
+// fleet of tuners (for example one per element type, or a measuring tuner
+// refreshing a non-measuring one) amortises tuning runs jointly. It
+// overrides WithCacheSize; if other has caching disabled, so does the new
+// tuner.
+func WithCacheFrom[T Float](other *Tuner[T]) Option {
+	return func(c *tunerConfig) {
+		c.cache = other.inner.Cache()
+		if c.cache == nil {
+			c.cacheSize = -1
+		}
+	}
+}
+
+// NewTuner builds a runtime tuner for a model. With no options it uses the
+// model's trained thread count and a default-sized decision cache:
+//
+//	tuner := smat.NewTuner[float64](model,
+//	    smat.WithThreads(8), smat.WithCacheSize(4096))
+func NewTuner[T Float](model *Model, opts ...Option) *Tuner[T] {
+	var c tunerConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Tuner[T]{inner: autotune.New[T](model, autotune.Config{
+		Threads:             c.threads,
+		CacheSize:           c.cacheSize,
+		Cache:               c.cache,
+		DisableFallback:     c.noFallback,
+		ConfidenceThreshold: c.confidence,
+	})}
+}
+
+// NewTunerThreads builds a runtime tuner with the pre-options positional
+// signature. threads ≤ 0 selects the model's trained configuration.
+//
+// Deprecated: use NewTuner with WithThreads.
+func NewTunerThreads[T Float](model *Model, threads int) *Tuner[T] {
+	return NewTuner[T](model, WithThreads(threads))
 }
 
 // Threads returns the tuner's thread configuration.
 func (t *Tuner[T]) Threads() int { return t.inner.Threads() }
 
+// Stats snapshots the tuner's decision-cache counters: hits, misses,
+// singleflight-shared waits, LRU evictions and low-confidence refreshes.
+// The zero value is returned when caching is disabled.
+func (t *Tuner[T]) Stats() CacheStats { return t.inner.Stats() }
+
 // Tune selects the format and kernel for a matrix and returns the tuned
-// operator together with the decision record. The result is also cached on
+// operator together with the decision record. Tune always runs the tuning
+// procedure (served from the decision cache when a structurally identical
+// matrix was tuned before) and atomically replaces the operator cached on
 // the matrix handle for CSRSpMV.
 func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
 	op, dec, err := t.inner.Tune(a.csr)
@@ -128,24 +247,61 @@ func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
 		return nil, err
 	}
 	out := &Operator[T]{op: op, dec: dec}
-	a.op, a.owner = out, t
+	a.tuned.Store(&tunedSlot[T]{op: out, owner: t})
 	return out, nil
 }
 
 // CSRSpMV is the paper's unified interface (SMAT_xCSR_SpMV): it computes
 // y = A·x on a CSR-format input, auto-tuning the matrix on first use and
 // reusing the decision afterwards. x must have length Cols, y length Rows.
+//
+// CSRSpMV is safe to call from many goroutines on the same matrix: the
+// first use tunes exactly once (concurrent callers block on that one run)
+// and later calls reuse the operator lock-free. The handle's operator
+// belongs to the tuner that produced it — calling CSRSpMV with a different
+// tuner re-tunes and atomically replaces it (usually cheaply, as a decision
+// cache hit). Code that serves several tuners on one matrix should hold the
+// per-tuner Operators returned by Tune instead of ping-ponging the handle.
 func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
 	rows, cols := a.Dims()
 	if len(x) != cols || len(y) != rows {
 		return fmt.Errorf("smat: CSRSpMV on %dx%d matrix with |x|=%d |y|=%d", rows, cols, len(x), len(y))
 	}
-	if a.op == nil || a.owner != t {
-		if _, err := t.Tune(a); err != nil {
+	s := a.tuned.Load()
+	if s == nil || s.owner != t {
+		var err error
+		if s, err = a.tuneOnce(t); err != nil {
 			return err
 		}
 	}
-	a.op.MulVec(x, y)
+	s.op.MulVec(x, y)
+	return nil
+}
+
+// tuneOnce tunes a for t under the handle's mutex, so concurrent first
+// uses of one matrix run exactly one tuning pass instead of racing.
+func (a *Matrix[T]) tuneOnce(t *Tuner[T]) (*tunedSlot[T], error) {
+	a.tuneMu.Lock()
+	defer a.tuneMu.Unlock()
+	if s := a.tuned.Load(); s != nil && s.owner == t {
+		return s, nil
+	}
+	op, dec, err := t.inner.Tune(a.csr)
+	if err != nil {
+		return nil, err
+	}
+	s := &tunedSlot[T]{op: &Operator[T]{op: op, dec: dec}, owner: t}
+	a.tuned.Store(s)
+	return s, nil
+}
+
+// Operator returns the tuned operator cached on the handle by the most
+// recent Tune or CSRSpMV, so callers can inspect the decision without
+// re-tuning. It returns nil if the matrix has not been tuned yet.
+func (a *Matrix[T]) Operator() *Operator[T] {
+	if s := a.tuned.Load(); s != nil {
+		return s.op
+	}
 	return nil
 }
 
@@ -165,32 +321,50 @@ func (o *Operator[T]) Format() Format { return o.op.Format() }
 func (o *Operator[T]) KernelName() string { return o.op.KernelName() }
 
 // Decision returns the full runtime decision record (prediction, confidence,
-// fallback measurements, overhead accounting).
+// cache provenance, fallback measurements, overhead accounting).
 func (o *Operator[T]) Decision() Decision {
 	return Decision{
 		Predicted:    o.dec.Predicted,
 		PredictedOK:  o.dec.PredictedOK,
 		Confidence:   o.dec.Confidence,
 		UsedFallback: o.dec.UsedFallback,
+		CacheHit:     o.dec.CacheHit,
 		Chosen:       o.dec.Chosen,
 		Kernel:       o.dec.Kernel,
 		Overhead:     o.dec.Overhead(),
 	}
 }
 
-// Decision summarises how SMAT chose the operator's format.
+// Decision summarises how SMAT chose the operator's format. Exactly one of
+// three paths produced it: a confident model prediction (PredictedOK, no
+// CacheHit), the execute-and-measure fallback (UsedFallback), or the
+// decision cache (CacheHit).
 type Decision struct {
-	// Predicted is the model's format when PredictedOK; Confidence its
-	// matched rule-group confidence factor.
-	Predicted   Format
+	// Predicted is the format the model (or, on a cache hit, the cached
+	// entry) selected; it is meaningful only when PredictedOK is true.
+	Predicted Format
+	// PredictedOK reports that the decision was made without measuring:
+	// either a rule group matched above the confidence threshold, or the
+	// decision cache supplied the answer.
 	PredictedOK bool
-	Confidence  float64
-	// UsedFallback reports that the execute-and-measure path ran.
+	// Confidence is the matched rule-group confidence factor in (0, 1].
+	// Fallback-measured decisions are cached with confidence 1 (ground
+	// truth), so on a cache hit this reflects how the entry was created.
+	Confidence float64
+	// UsedFallback reports that the execute-and-measure path ran on this
+	// call. It is false on a cache hit even when the cached entry was
+	// originally measured.
 	UsedFallback bool
-	// Chosen is the final format, Kernel the implementation name.
+	// CacheHit reports that the decision came from the tuner's
+	// feature-keyed cache: no rule evaluation or measurement ran, only
+	// feature extraction and format conversion.
+	CacheHit bool
+	// Chosen is the final storage format the operator uses; Kernel the name
+	// of the implementation bound to it.
 	Chosen Format
 	Kernel string
 	// Overhead is the total decision cost in multiples of one basic
-	// CSR-SpMV execution (the paper's Table 3 unit).
+	// CSR-SpMV execution (the paper's Table 3 unit). Cache hits skip the
+	// baseline measurement, so their Overhead is reported as 0.
 	Overhead float64
 }

@@ -50,7 +50,7 @@ func TestNewCSRValidates(t *testing.T) {
 }
 
 func TestHeuristicModelRouting(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 2)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(2))
 	cases := []struct {
 		name string
 		m    *matrix.CSR[float64]
@@ -80,7 +80,7 @@ func TestHeuristicModelRouting(t *testing.T) {
 }
 
 func TestCSRSpMVCorrectnessProperty(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 2)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(2))
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		rows, cols := 1+rng.Intn(50), 1+rng.Intn(50)
@@ -115,7 +115,7 @@ func TestCSRSpMVCorrectnessProperty(t *testing.T) {
 }
 
 func TestCSRSpMVDimensionChecks(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 1)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(1))
 	a, err := FromEntries(3, 4, []Entry[float64]{{Row: 0, Col: 0, Val: 1}})
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +129,7 @@ func TestCSRSpMVDimensionChecks(t *testing.T) {
 }
 
 func TestCSRSpMVCachesTuning(t *testing.T) {
-	tuner := NewTuner[float64](HeuristicModel(), 2)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(2))
 	a, err := FromEntries(500, 500, diagEntries(500))
 	if err != nil {
 		t.Fatal(err)
@@ -139,20 +139,23 @@ func TestCSRSpMVCachesTuning(t *testing.T) {
 	if err := tuner.CSRSpMV(a, x, y); err != nil {
 		t.Fatal(err)
 	}
-	op1 := a.op
+	op1 := a.Operator()
+	if op1 == nil {
+		t.Fatal("no operator cached on the handle")
+	}
 	if err := tuner.CSRSpMV(a, x, y); err != nil {
 		t.Fatal(err)
 	}
-	if a.op != op1 {
+	if a.Operator() != op1 {
 		t.Error("tuning not cached across calls")
 	}
-	// A different tuner must re-tune.
-	tuner2 := NewTuner[float64](HeuristicModel(), 1)
+	// A different tuner must re-tune (atomically replacing the operator).
+	tuner2 := NewTuner[float64](HeuristicModel(), WithThreads(1))
 	if err := tuner2.CSRSpMV(a, x, y); err != nil {
 		t.Fatal(err)
 	}
-	if a.op == op1 {
-		t.Error("cache not invalidated for new tuner")
+	if a.Operator() == op1 {
+		t.Error("handle operator not replaced for new tuner")
 	}
 }
 
@@ -211,7 +214,7 @@ func TestTrainModelTiny(t *testing.T) {
 		t.Fatal("trained model empty")
 	}
 	// The trained model must drive a working tuner.
-	tuner := NewTuner[float64](model, 2)
+	tuner := NewTuner[float64](model, WithThreads(2))
 	a, err := FromEntries(200, 200, diagEntries(200))
 	if err != nil {
 		t.Fatal(err)
@@ -232,7 +235,7 @@ func TestTrainModelTiny(t *testing.T) {
 }
 
 func TestFloat32PublicAPI(t *testing.T) {
-	tuner := NewTuner[float32](HeuristicModel(), 2)
+	tuner := NewTuner[float32](HeuristicModel(), WithThreads(2))
 	var es []Entry[float32]
 	for i := 0; i < 100; i++ {
 		es = append(es, Entry[float32]{Row: i, Col: i, Val: 2})
