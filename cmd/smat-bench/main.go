@@ -6,7 +6,7 @@
 //
 // Experiments: table1, figure1, figure3, figure6, figure9, figure10,
 // table3, table4, ablation-threshold, ablation-tailoring,
-// ablation-features, ablation-scoreboard, extensions, cache, all.
+// ablation-features, ablation-scoreboard, extensions, cache, steady, all.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("smat-bench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, extensions, cache, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, extensions, cache, steady, all)")
 		modelPath  = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
 		scale      = flag.Float64("scale", 0.25, "workload size scale (0,1]")
 		stride     = flag.Int("stride", 8, "corpus sampling stride for corpus-wide experiments")
@@ -37,6 +37,7 @@ func main() {
 		minTimeMS  = flag.Float64("mintime-ms", 1, "per-measurement minimum timing window (ms)")
 		trials     = flag.Int("trials", 3, "measurement trials (fastest wins)")
 		dataDir    = flag.String("data-dir", "", "write plot-ready .tsv series per experiment into this directory")
+		steadyOut  = flag.String("steady-out", "BENCH_steady.json", "JSON artifact path for the steady experiment (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -112,12 +113,23 @@ func main() {
 			bench.CacheBench(cfg)
 			return nil
 		},
+		"steady": func() error {
+			res := bench.Steady(cfg)
+			if *steadyOut == "" {
+				return nil
+			}
+			if err := res.SaveJSON(*steadyOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *steadyOut)
+			return nil
+		},
 	}
 	order := []string{
 		"table1", "figure1", "figure3", "figure6", "figure9", "figure10",
 		"table3", "table4",
 		"ablation-threshold", "ablation-tailoring", "ablation-features", "ablation-scoreboard",
-		"extensions", "cache",
+		"extensions", "cache", "steady",
 	}
 
 	switch *experiment {

@@ -170,6 +170,71 @@ func TestConcurrentTwoTunersOneMatrix(t *testing.T) {
 	}
 }
 
+// TestConcurrentPooledSpMVDistinctMatrices drives one tuner's shared worker
+// pool from many goroutines, each multiplying its own large matrix. The
+// matrices carry small integer values and distinct columns per row, so
+// float64 arithmetic is exact regardless of how the engine partitions or
+// schedules the work: results must match the reference computed from the
+// entries bit for bit.
+func TestConcurrentPooledSpMVDistinctMatrices(t *testing.T) {
+	const (
+		goroutines = 8
+		n          = 2500 // 8 entries/row ⇒ 20k nonzeros, well past the serial cutoff
+		perRow     = 8
+	)
+	tuner := NewTuner[float64](HeuristicModel(), WithThreads(4))
+	defer tuner.Close()
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(1 + i%5)
+	}
+	mats := make([]*Matrix[float64], goroutines)
+	wants := make([][]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		entries := make([]Entry[float64], 0, n*perRow)
+		want := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for j := 0; j < perRow; j++ {
+				c := (r + j*313 + g) % n // distinct columns within each row
+				v := float64(1 + (r+j+g)%9)
+				entries = append(entries, Entry[float64]{Row: r, Col: c, Val: v})
+				want[r] += v * x[c]
+			}
+		}
+		a, err := FromEntries(n, n, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mats[g], wants[g] = a, want
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			y := make([]float64, n)
+			for i := 0; i < 30; i++ {
+				if err := tuner.CSRSpMV(mats[g], x, y); err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				for j := range y {
+					if y[j] != wants[g][j] {
+						t.Errorf("goroutine %d iter %d: y[%d] = %g, want %g", g, i, j, y[j], wants[g][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+}
+
 // TestConcurrentTuneAndStats exercises Tune and Stats racing each other —
 // Stats must be callable at any time without synchronisation by the caller.
 func TestConcurrentTuneAndStats(t *testing.T) {

@@ -53,16 +53,19 @@ func (d *Decision) Overhead() float64 {
 }
 
 // Operator is a tuned SpMV: the matrix materialised in its chosen format
-// bound to its chosen kernel. It is what SMAT_xCSR_SpMV hands back.
+// bound to its chosen kernel and the tuner's persistent worker pool. It is
+// what SMAT_xCSR_SpMV hands back.
 type Operator[T matrix.Float] struct {
-	mat     *kernels.Mat[T]
-	kernel  *kernels.Kernel[T]
-	threads int
-	nnz     int
+	mat    *kernels.Mat[T]
+	kernel *kernels.Kernel[T]
+	pool   *kernels.Pool[T]
+	nnz    int
 }
 
-// MulVec computes y = A·x.
-func (o *Operator[T]) MulVec(x, y []T) { o.kernel.Run(o.mat, x, y, o.threads) }
+// MulVec computes y = A·x on the steady-state execution path: the work
+// partition comes from the matrix's cached plan and parallel chunks run on
+// the tuner's persistent worker pool, so repeated calls allocate nothing.
+func (o *Operator[T]) MulVec(x, y []T) { o.kernel.RunPooled(o.mat, x, y, o.pool) }
 
 // Format returns the storage format the tuner chose.
 func (o *Operator[T]) Format() matrix.Format { return o.mat.Format }
@@ -84,6 +87,7 @@ type Tuner[T matrix.Float] struct {
 	model      *Model
 	lib        *kernels.Library[T]
 	threads    int
+	pool       *kernels.Pool[T]
 	measure    MeasureOptions
 	cache      *Cache
 	threshold  float64
@@ -132,6 +136,9 @@ func New[T matrix.Float](model *Model, cfg Config) *Tuner[T] {
 		model:   model,
 		lib:     kernels.NewLibrary[T](),
 		threads: threads,
+		// The persistent worker pool resolves the effective thread count
+		// once, here; every operator the tuner produces shares it.
+		pool: kernels.NewPool[T](threads),
 		// Fallback measurements favour speed over precision: the paper keeps
 		// the whole fallback within ~16 CSR-SpMV executions.
 		measure:    MeasureOptions{MinTime: 200 * time.Microsecond, Trials: 1},
@@ -152,6 +159,16 @@ func NewTuner[T matrix.Float](model *Model, threads int) *Tuner[T] {
 
 // Threads returns the tuner's thread configuration.
 func (t *Tuner[T]) Threads() int { return t.threads }
+
+// Pool returns the tuner's persistent worker pool (the steady-state
+// execution engine shared by every operator the tuner produces).
+func (t *Tuner[T]) Pool() *kernels.Pool[T] { return t.pool }
+
+// Close stops the worker pool. Operators the tuner produced remain usable —
+// their parallel kernels fall back to per-call goroutine fan-out — and an
+// abandoned tuner sheds its workers on garbage collection even without
+// Close.
+func (t *Tuner[T]) Close() { t.pool.Close() }
 
 // Model returns the underlying trained model.
 func (t *Tuner[T]) Model() *Model { return t.model }
@@ -250,7 +267,7 @@ func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Oper
 	d.Confidence = entry.Confidence
 	d.Chosen = entry.Format
 	d.Kernel = k.Name
-	return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
+	return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
 }
 
 // refreshBelow is the confidence bar under which a cached, un-measured
@@ -293,7 +310,7 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 			k := t.kernelFor(d.Chosen)
 			d.Kernel = k.Name
 			t.accountCSRBaseline(m, d)
-			return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
+			return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
 		}
 		// Fill guard rejected the predicted format; fall through to
 		// measurement (or the best-effort pick when fallback is off).
@@ -346,7 +363,7 @@ func (t *Tuner[T]) bestEffort(m *matrix.CSR[T], d *Decision, fv []float64) (*Ope
 	d.Chosen = best
 	k := t.kernelFor(best)
 	d.Kernel = k.Name
-	return &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}, nil
+	return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
 }
 
 // groupConfidence returns the confidence of the first rule of class f (in
@@ -427,12 +444,14 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 			continue
 		}
 		k := t.kernelFor(f)
-		sec := MeasureSecPerOp(func() { k.Run(mat, x, y, t.threads) }, measure)
+		// Measure on the pooled steady-state path — the regime the chosen
+		// operator will actually run in.
+		sec := MeasureSecPerOp(func() { k.RunPooled(mat, x, y, t.pool) }, measure)
 		g := GFLOPS(flops, sec)
 		d.Measured[f] = g
 		if g > best {
 			best = g
-			bestOp = &Operator[T]{mat: mat, kernel: k, threads: t.threads, nnz: m.NNZ()}
+			bestOp = &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
 		}
 	}
 	if bestOp == nil {

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"smat/internal/autotune"
+	"smat/internal/gen"
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// SteadyResult compares the two dispatch paths of the execution engine on
+// every parallel kernel: Run (per-call goroutine spawn) against RunPooled
+// (persistent workers + cached execution plan). This is the perf contract of
+// the steady-state SpMV path — the regime a solver sits in after tuning,
+// multiplying the same matrix thousands of times.
+type SteadyResult struct {
+	Threads        int         `json:"threads"`
+	Scale          float64     `json:"scale"`
+	Rows           []SteadyRow `json:"rows"`
+	GeoMeanSpeedup float64     `json:"geomean_speedup"`
+}
+
+// SteadyRow is one (workload, kernel) comparison.
+type SteadyRow struct {
+	Workload     string  `json:"workload"`
+	Format       string  `json:"format"`
+	Kernel       string  `json:"kernel"`
+	NNZ          int     `json:"nnz"`
+	SpawnSec     float64 `json:"spawn_sec_per_op"`
+	PooledSec    float64 `json:"pooled_sec_per_op"`
+	Speedup      float64 `json:"speedup"`
+	SpawnGFLOPS  float64 `json:"spawn_gflops"`
+	PooledGFLOPS float64 `json:"pooled_gflops"`
+}
+
+// steadyWorkloads builds the experiment's matrices, dimension-scaled by
+// cfg.Scale: a banded stencil (DIA/ELL territory), a constant-degree graph
+// (ELL), a uniform random matrix (CSR), and a power-law-ish road network
+// (CSR/COO) — mid-size matrices where per-call goroutine setup is a visible
+// fraction of SpMV time.
+func steadyWorkloads(cfg Config) []struct {
+	name string
+	m    *matrix.CSR[float64]
+} {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := func(n int) int { return max(64, int(float64(n)*cfg.Scale)) }
+	return []struct {
+		name string
+		m    *matrix.CSR[float64]
+	}{
+		{"laplace2d", gen.Laplacian2D5pt[float64](dim(600), dim(600))},
+		{"constdeg4", gen.ConstantDegree[float64](dim(50000), 4, rng)},
+		{"random30", gen.RandomUniform[float64](dim(20000), dim(20000), 30, rng)},
+		{"road", gen.RoadNetwork[float64](dim(80000), rng)},
+		// Just past the serial cutoff: each SpMV is tens of microseconds, so
+		// this row isolates dispatch overhead (goroutine spawns vs pool
+		// wakes) rather than bandwidth.
+		{"tiny6", gen.RandomUniform[float64](dim(8000), dim(8000), 6, rng)},
+	}
+}
+
+// Steady runs the steady-state engine experiment and prints the comparison
+// table. Every format the workload converts to (within a fill budget)
+// contributes its parallel kernels; each is timed on the spawn path and the
+// pooled path with the same warmed plan.
+func Steady(cfg Config) *SteadyResult {
+	cfg = cfg.withDefaults()
+	res := &SteadyResult{Threads: cfg.Threads, Scale: cfg.Scale}
+
+	lib := kernels.NewLibrary[float64]()
+	lib.RegisterHYB()
+	lib.RegisterBCSR()
+	pool := kernels.NewPool[float64](cfg.Threads)
+	defer pool.Close()
+
+	formats := []matrix.Format{
+		matrix.FormatCSR, matrix.FormatCOO, matrix.FormatDIA,
+		matrix.FormatELL, matrix.FormatHYB, matrix.FormatBCSR,
+	}
+
+	logSum, logN := 0.0, 0
+	for _, w := range steadyWorkloads(cfg) {
+		nnz := w.m.NNZ()
+		x := make([]float64, w.m.Cols)
+		for i := range x {
+			x[i] = 1 + float64(i%7)/8
+		}
+		y := make([]float64, w.m.Rows)
+		for _, f := range formats {
+			mat, err := kernels.Convert(w.m, f, 8)
+			if err != nil {
+				continue // fill explosion: the format does not suit this matrix
+			}
+			for _, k := range lib.ForFormat(f) {
+				if k.Strategies&kernels.StratParallel == 0 {
+					continue
+				}
+				// Warm both paths: compute the plan, start the workers.
+				k.Run(mat, x, y, cfg.Threads)
+				k.RunPooled(mat, x, y, pool)
+				spawnSec := autotune.MeasureSecPerOp(func() { k.Run(mat, x, y, cfg.Threads) }, cfg.Measure)
+				pooledSec := autotune.MeasureSecPerOp(func() { k.RunPooled(mat, x, y, pool) }, cfg.Measure)
+				row := SteadyRow{
+					Workload:     w.name,
+					Format:       f.String(),
+					Kernel:       k.Name,
+					NNZ:          nnz,
+					SpawnSec:     spawnSec,
+					PooledSec:    pooledSec,
+					SpawnGFLOPS:  autotune.GFLOPS(kernels.FLOPs(nnz), spawnSec),
+					PooledGFLOPS: autotune.GFLOPS(kernels.FLOPs(nnz), pooledSec),
+				}
+				if pooledSec > 0 {
+					row.Speedup = spawnSec / pooledSec
+					logSum += math.Log(row.Speedup)
+					logN++
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	if logN > 0 {
+		res.GeoMeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+
+	t := &table{header: []string{"Workload", "Format", "Kernel", "NNZ", "Spawn (us)", "Pooled (us)", "Speedup", "Pooled GFLOPS"}}
+	for _, row := range res.Rows {
+		t.add(row.Workload, row.Format, row.Kernel, fmt.Sprint(row.NNZ),
+			fmt.Sprintf("%.1f", row.SpawnSec*1e6), fmt.Sprintf("%.1f", row.PooledSec*1e6),
+			fmt.Sprintf("%.2fx", row.Speedup), f2(row.PooledGFLOPS))
+	}
+	fmt.Fprintf(cfg.Out, "Steady-state SpMV: per-call goroutine spawn vs persistent pool + cached plan (%d threads)\n", cfg.Threads)
+	t.print(cfg.Out)
+	t.saveTSV(cfg, "steady")
+	fmt.Fprintf(cfg.Out, "geometric-mean pooled speedup over spawn: %.2fx across %d kernel/workload pairs\n",
+		res.GeoMeanSpeedup, logN)
+	return res
+}
+
+// SaveJSON writes the result as an indented JSON artifact (the BENCH_steady
+// file committed alongside the code).
+func (r *SteadyResult) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -109,18 +109,27 @@ func bcsrDispatchRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) 
 	}
 }
 
-func runBCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runBCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	bcsrGenericRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
 }
 
-func runBCSRBlockSpec[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runBCSRBlockSpec[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	bcsrDispatchRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
 }
 
-func runBCSRBlockSpecParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.BCSR.BlockRows(), func(lo, hi int) {
-		bcsrDispatchRange(m.BCSR, x, y, lo, hi)
-	})
+func bcsrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	bcsrDispatchRange(m.BCSR, x, y, lo, hi)
+}
+
+func runBCSRBlockSpecParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](bcsrChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			bcsrDispatchRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
 }
 
 // bcsrKernels returns the extension kernels (opt-in via RegisterBCSR).
@@ -128,7 +137,7 @@ func bcsrKernels[T matrix.Float]() []*Kernel[T] {
 	return []*Kernel[T]{
 		{Name: "bcsr_basic", Format: matrix.FormatBCSR, Strategies: 0, run: runBCSRBasic[T]},
 		{Name: "bcsr_blockspec", Format: matrix.FormatBCSR, Strategies: StratWidthSpec, run: runBCSRBlockSpec[T]},
-		{Name: "bcsr_blockspec_parallel", Format: matrix.FormatBCSR, Strategies: StratWidthSpec | StratParallel, run: runBCSRBlockSpecParallel[T]},
+		{Name: "bcsr_blockspec_parallel", Format: matrix.FormatBCSR, Strategies: StratWidthSpec | StratParallel, run: runBCSRBlockSpecParallel[T]()},
 	}
 }
 

@@ -29,19 +29,19 @@ func cooRangeUnroll4[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
 	}
 }
 
-func runCOOBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runCOOBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	clear(y)
 	cooRange(m.COO, x, y, 0, m.COO.NNZ())
 }
 
-func runCOOUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runCOOUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	clear(y)
 	cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
 }
 
 // cooBounds splits the entry range into roughly nnz-balanced chunks whose
 // boundaries fall on row boundaries, so concurrent chunks never write the
-// same y element.
+// same y element. Computed once per matrix by the execution plan.
 func cooBounds[T matrix.Float](m *matrix.COO[T], threads int) []int {
 	nnz := m.NNZ()
 	if threads < 1 {
@@ -65,24 +65,56 @@ func cooBounds[T matrix.Float](m *matrix.COO[T], threads int) []int {
 	return bounds
 }
 
-func runCOOParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	clear(y)
-	if m.COO.NNZ() < 2048 {
-		cooRange(m.COO, x, y, 0, m.COO.NNZ())
-		return
+// cooChunkRows returns the half-open row range owned by the entry chunk
+// [lo, hi): from the chunk's first row up to the next chunk's first row.
+// Leading empty rows attach to the first chunk and every gap attaches to the
+// chunk before it, so chunk-local clears cover each row of y exactly once —
+// this replaces the serial O(rows) clear(y) that used to precede every
+// parallel COO SpMV.
+func cooChunkRows[T matrix.Float](c *matrix.COO[T], lo, hi int) (rLo, rHi int) {
+	rLo = 0
+	if lo > 0 {
+		rLo = c.RowIdx[lo]
 	}
-	parallelBounds(cooBounds(m.COO, threads), func(lo, hi int) {
-		cooRange(m.COO, x, y, lo, hi)
-	})
+	rHi = c.Rows
+	if hi < len(c.RowIdx) {
+		rHi = c.RowIdx[hi]
+	}
+	return rLo, rHi
 }
 
-func runCOOParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	clear(y)
-	if m.COO.NNZ() < 2048 {
-		cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
-		return
+func cooChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	rLo, rHi := cooChunkRows(m.COO, lo, hi)
+	clear(y[rLo:rHi])
+	cooRange(m.COO, x, y, lo, hi)
+}
+
+func cooChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	rLo, rHi := cooChunkRows(m.COO, lo, hi)
+	clear(y[rLo:rHi])
+	cooRangeUnroll4(m.COO, x, y, lo, hi)
+}
+
+func runCOOParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](cooChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			clear(y)
+			cooRange(m.COO, x, y, 0, m.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y)
 	}
-	parallelBounds(cooBounds(m.COO, threads), func(lo, hi int) {
-		cooRangeUnroll4(m.COO, x, y, lo, hi)
-	})
+}
+
+func runCOOParallelUnroll4[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](cooChunkUnroll4[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			clear(y)
+			cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y)
+	}
 }

@@ -35,44 +35,64 @@ func csrRowRangeUnroll4[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) 
 	}
 }
 
-func runCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+// csrChunk / csrChunkUnroll4 adapt the row loops to the engine's chunk
+// signature (top-level functions so pool dispatch never allocates).
+func csrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	csrRowRange(m.CSR, x, y, lo, hi)
+}
+
+func csrChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
+}
+
+func runCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
 }
 
-func runCSRUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runCSRUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
 }
 
-func runCSRParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.CSR.Rows, func(lo, hi int) {
-		csrRowRange(m.CSR, x, y, lo, hi)
-	})
-}
-
-func runCSRParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.CSR.Rows, func(lo, hi int) {
-		csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
-	})
-}
-
-func runCSRParallelNNZ[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	if m.CSR.Rows < 2048 {
-		csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
-		return
+func runCSRParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](csrChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
 	}
-	bounds := nnzBalancedRowBounds(m.CSR.RowPtr, threads)
-	parallelBounds(bounds, func(lo, hi int) {
-		csrRowRange(m.CSR, x, y, lo, hi)
-	})
 }
 
-func runCSRParallelNNZUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	if m.CSR.Rows < 2048 {
-		csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
-		return
+func runCSRParallelUnroll4[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](csrChunkUnroll4[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
 	}
-	bounds := nnzBalancedRowBounds(m.CSR.RowPtr, threads)
-	parallelBounds(bounds, func(lo, hi int) {
-		csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
-	})
+}
+
+func runCSRParallelNNZ[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](csrChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y)
+	}
+}
+
+func runCSRParallelNNZUnroll4[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](csrChunkUnroll4[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y)
+	}
 }

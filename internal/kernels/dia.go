@@ -4,7 +4,7 @@ import "smat/internal/matrix"
 
 // runDIABasic is the paper's Figure 2(c) loop: diagonal-major traversal with
 // contiguous x reads, accumulating into y once per diagonal.
-func runDIABasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runDIABasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	d := m.DIA
 	clear(y)
 	for i, k := range d.Offsets {
@@ -19,7 +19,7 @@ func runDIABasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
 }
 
 // runDIAUnroll4 unrolls the per-diagonal loop by four.
-func runDIAUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runDIAUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	d := m.DIA
 	clear(y)
 	for i, k := range d.Offsets {
@@ -85,18 +85,36 @@ func diaRowRangeUnroll4[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) 
 	}
 }
 
-func runDIARowMajor[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runDIARowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	diaRowRange(m.DIA, x, y, 0, m.DIA.Rows)
 }
 
-func runDIAParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.DIA.Rows, func(lo, hi int) {
-		diaRowRange(m.DIA, x, y, lo, hi)
-	})
+func diaChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	diaRowRange(m.DIA, x, y, lo, hi)
 }
 
-func runDIAParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.DIA.Rows, func(lo, hi int) {
-		diaRowRangeUnroll4(m.DIA, x, y, lo, hi)
-	})
+func diaChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	diaRowRangeUnroll4(m.DIA, x, y, lo, hi)
+}
+
+func runDIAParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](diaChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			diaRowRange(m.DIA, x, y, 0, m.DIA.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
+}
+
+func runDIAParallelUnroll4[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](diaChunkUnroll4[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			diaRowRangeUnroll4(m.DIA, x, y, 0, m.DIA.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
 }

@@ -5,7 +5,7 @@ import "smat/internal/matrix"
 // runELLBasic is the paper's Figure 2(d) loop: column(slot)-major traversal
 // of the packed dense matrix. Padding slots carry value 0 and contribute
 // nothing.
-func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	e := m.ELL
 	clear(y)
 	for n := 0; n < e.Width; n++ {
@@ -18,7 +18,7 @@ func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
 }
 
 // runELLUnroll4 unrolls the slot-major row loop by four.
-func runELLUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runELLUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	e := m.ELL
 	clear(y)
 	for n := 0; n < e.Width; n++ {
@@ -68,18 +68,36 @@ func ellRowRangeUnroll4[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) 
 	}
 }
 
-func runELLRowMajor[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runELLRowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	ellRowRange(m.ELL, x, y, 0, m.ELL.Rows)
 }
 
-func runELLParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.ELL.Rows, func(lo, hi int) {
-		ellRowRange(m.ELL, x, y, lo, hi)
-	})
+func ellChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	ellRowRange(m.ELL, x, y, lo, hi)
 }
 
-func runELLParallelUnroll4[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.ELL.Rows, func(lo, hi int) {
-		ellRowRangeUnroll4(m.ELL, x, y, lo, hi)
-	})
+func ellChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	ellRowRangeUnroll4(m.ELL, x, y, lo, hi)
+}
+
+func runELLParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](ellChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			ellRowRange(m.ELL, x, y, 0, m.ELL.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
+}
+
+func runELLParallelUnroll4[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](ellChunkUnroll4[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			ellRowRangeUnroll4(m.ELL, x, y, 0, m.ELL.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
 }

@@ -44,12 +44,21 @@ func ellWidthRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 	}
 }
 
-func runELLWidth[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runELLWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	ellWidthRange(m.ELL, x, y, 0, m.ELL.Rows)
 }
 
-func runELLWidthParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	parallelRanges(threads, m.ELL.Rows, func(lo, hi int) {
-		ellWidthRange(m.ELL, x, y, lo, hi)
-	})
+func ellWidthChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	ellWidthRange(m.ELL, x, y, lo, hi)
+}
+
+func runELLWidthParallel[T matrix.Float]() runFn[T] {
+	chunk := rangeFn[T](ellWidthChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			ellWidthRange(m.ELL, x, y, 0, m.ELL.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+	}
 }

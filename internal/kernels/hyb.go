@@ -8,7 +8,7 @@ import "smat/internal/matrix"
 // the scoreboard search tunes HYB without further changes — the paper's
 // extensibility claim in action.
 
-func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	h := m.HYB
 	clear(y)
 	e := h.ELL
@@ -22,26 +22,40 @@ func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ int) {
 	cooRange(h.COO, x, y, 0, h.COO.NNZ())
 }
 
-func runHYBWidth[T matrix.Float](m *Mat[T], x, y []T, _ int) {
+func runHYBWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	h := m.HYB
 	ellWidthRange(h.ELL, x, y, 0, h.ELL.Rows)
 	cooRange(h.COO, x, y, 0, h.COO.NNZ())
 }
 
-func runHYBWidthParallel[T matrix.Float](m *Mat[T], x, y []T, threads int) {
-	h := m.HYB
-	parallelRanges(threads, h.ELL.Rows, func(lo, hi int) {
-		ellWidthRange(h.ELL, x, y, lo, hi)
-	})
-	// The COO tail accumulates after the ELL phase completes; chunks are
-	// row-aligned, so the parallel phase has no write conflicts either.
-	if h.COO.NNZ() < 2048 {
-		cooRange(h.COO, x, y, 0, h.COO.NNZ())
-		return
+func hybELLChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	ellWidthRange(m.HYB.ELL, x, y, lo, hi)
+}
+
+func hybCOOChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+	cooRange(m.HYB.COO, x, y, lo, hi)
+}
+
+func runHYBWidthParallel[T matrix.Float]() runFn[T] {
+	ellChunk := rangeFn[T](hybELLChunk[T])
+	cooChunk := rangeFn[T](hybCOOChunk[T])
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		h := m.HYB
+		if ex.plan.Serial {
+			ellWidthRange(h.ELL, x, y, 0, h.ELL.Rows)
+			cooRange(h.COO, x, y, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, ellChunk, m, x, y)
+		// The COO tail accumulates after the ELL phase completes (the ELL pass
+		// wrote every y element); tail chunks are row-aligned, so the parallel
+		// phase has no write conflicts either.
+		if ex.plan.TailSerial {
+			cooRange(h.COO, x, y, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, x, y)
 	}
-	parallelBounds(cooBounds(h.COO, threads), func(lo, hi int) {
-		cooRange(h.COO, x, y, lo, hi)
-	})
 }
 
 // hybKernels returns the extension kernels. They are not part of
@@ -51,7 +65,7 @@ func hybKernels[T matrix.Float]() []*Kernel[T] {
 	return []*Kernel[T]{
 		{Name: "hyb_basic", Format: matrix.FormatHYB, Strategies: 0, run: runHYBBasic[T]},
 		{Name: "hyb_width", Format: matrix.FormatHYB, Strategies: StratWidthSpec, run: runHYBWidth[T]},
-		{Name: "hyb_width_parallel", Format: matrix.FormatHYB, Strategies: StratWidthSpec | StratParallel, run: runHYBWidthParallel[T]},
+		{Name: "hyb_width_parallel", Format: matrix.FormatHYB, Strategies: StratWidthSpec | StratParallel, run: runHYBWidthParallel[T]()},
 	}
 }
 

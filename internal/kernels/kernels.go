@@ -9,7 +9,7 @@ package kernels
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"smat/internal/matrix"
 )
@@ -90,6 +90,10 @@ type Mat[T matrix.Float] struct {
 	ELL    *matrix.ELL[T]
 	HYB    *matrix.HYB[T]  // extension format, see matrix.FormatHYB
 	BCSR   *matrix.BCSR[T] // extension format, see matrix.FormatBCSR
+
+	// plan caches the execution plan (work partition) for the most recent
+	// thread count; see PlanFor.
+	plan atomic.Pointer[Plan]
 }
 
 // Dims returns the matrix dimensions.
@@ -149,11 +153,52 @@ type Kernel[T matrix.Float] struct {
 	Name       string
 	Format     matrix.Format
 	Strategies Strategy
-	run        func(m *Mat[T], x, y []T, threads int)
+	run        runFn[T]
+}
+
+// runFn is a kernel body. Parallel kernels are built by factories that bind
+// their chunk function values once at registration: materialising a generic
+// function value inside generic code allocates (it captures the type
+// dictionary), and doing that per call would break the steady-state
+// zero-allocation contract.
+type runFn[T matrix.Float] func(m *Mat[T], x, y []T, ex exec[T])
+
+// exec carries the execution engine through one kernel invocation: the
+// matrix's cached plan plus (optionally) the persistent worker pool. It is a
+// small value type — threading it through kernel calls allocates nothing.
+type exec[T matrix.Float] struct {
+	plan *Plan
+	pool *Pool[T]
+}
+
+// rangeFn is a chunk body: compute the piece of y = A·x covered by work
+// items [lo, hi). Implementations are top-level functions, never closures,
+// so dispatching them through the pool allocates nothing.
+type rangeFn[T matrix.Float] func(m *Mat[T], x, y []T, lo, hi int)
+
+// dispatch runs fn over the plan's chunk bounds: chunk t is
+// [bounds[t], bounds[t+1]). A single chunk runs inline; more fan out through
+// the persistent pool when one is attached and free, or per-call goroutines
+// otherwise.
+func (ex exec[T]) dispatch(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
+	nchunks := len(bounds) - 1
+	if nchunks < 1 {
+		return
+	}
+	if nchunks == 1 {
+		fn(m, x, y, bounds[0], bounds[1])
+		return
+	}
+	if ex.pool != nil && ex.pool.s.tryRun(bounds, fn, m, x, y) {
+		return
+	}
+	spawnChunks(bounds, fn, m, x, y)
 }
 
 // Run computes y = A·x (y is fully overwritten). threads ≤ 0 selects
-// GOMAXPROCS.
+// GOMAXPROCS. Partitioning comes from the matrix's cached plan; parallel
+// chunks execute on freshly spawned goroutines. Steady-state callers should
+// prefer RunPooled, which reuses long-lived workers.
 func (k *Kernel[T]) Run(m *Mat[T], x, y []T, threads int) {
 	if m.Format != k.Format {
 		panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
@@ -161,7 +206,22 @@ func (k *Kernel[T]) Run(m *Mat[T], x, y []T, threads int) {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	k.run(m, x, y, threads)
+	k.run(m, x, y, exec[T]{plan: m.PlanFor(threads)})
+}
+
+// RunPooled computes y = A·x on a persistent worker pool: the thread count
+// was resolved once when the pool was built, the partition comes from the
+// matrix's cached plan, and the dispatch allocates nothing — the steady-
+// state SpMV path. A nil pool degrades to Run with default threads.
+func (k *Kernel[T]) RunPooled(m *Mat[T], x, y []T, p *Pool[T]) {
+	if p == nil {
+		k.Run(m, x, y, 0)
+		return
+	}
+	if m.Format != k.Format {
+		panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
+	}
+	k.run(m, x, y, exec[T]{plan: m.PlanFor(p.s.threads), pool: p})
 }
 
 // Library is the full kernel collection for one element type.
@@ -225,31 +285,31 @@ func allKernels[T matrix.Float]() []*Kernel[T] {
 		// CSR family.
 		{Name: "csr_basic", Format: matrix.FormatCSR, Strategies: 0, run: runCSRBasic[T]},
 		{Name: "csr_unroll4", Format: matrix.FormatCSR, Strategies: StratUnroll4, run: runCSRUnroll4[T]},
-		{Name: "csr_parallel", Format: matrix.FormatCSR, Strategies: StratParallel, run: runCSRParallel[T]},
-		{Name: "csr_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratUnroll4, run: runCSRParallelUnroll4[T]},
-		{Name: "csr_parallel_nnz", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, run: runCSRParallelNNZ[T]},
-		{Name: "csr_parallel_nnz_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCSRParallelNNZUnroll4[T]},
+		{Name: "csr_parallel", Format: matrix.FormatCSR, Strategies: StratParallel, run: runCSRParallel[T]()},
+		{Name: "csr_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratUnroll4, run: runCSRParallelUnroll4[T]()},
+		{Name: "csr_parallel_nnz", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, run: runCSRParallelNNZ[T]()},
+		{Name: "csr_parallel_nnz_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCSRParallelNNZUnroll4[T]()},
 		// COO family.
 		{Name: "coo_basic", Format: matrix.FormatCOO, Strategies: 0, run: runCOOBasic[T]},
 		{Name: "coo_unroll4", Format: matrix.FormatCOO, Strategies: StratUnroll4, run: runCOOUnroll4[T]},
-		{Name: "coo_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, run: runCOOParallel[T]},
-		{Name: "coo_parallel_unroll4", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCOOParallelUnroll4[T]},
+		{Name: "coo_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, run: runCOOParallel[T]()},
+		{Name: "coo_parallel_unroll4", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCOOParallelUnroll4[T]()},
 		// DIA family.
 		{Name: "dia_basic", Format: matrix.FormatDIA, Strategies: 0, run: runDIABasic[T]},
 		{Name: "dia_unroll4", Format: matrix.FormatDIA, Strategies: StratUnroll4, run: runDIAUnroll4[T]},
 		{Name: "dia_rowmajor", Format: matrix.FormatDIA, Strategies: StratRowMajor, run: runDIARowMajor[T]},
-		{Name: "dia_parallel", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor, run: runDIAParallel[T]},
-		{Name: "dia_parallel_unroll4", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runDIAParallelUnroll4[T]},
+		{Name: "dia_parallel", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor, run: runDIAParallel[T]()},
+		{Name: "dia_parallel_unroll4", Format: matrix.FormatDIA, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runDIAParallelUnroll4[T]()},
 		{Name: "dia_blocked", Format: matrix.FormatDIA, Strategies: StratCacheBlock, run: runDIABlocked[T]},
-		{Name: "dia_blocked_parallel", Format: matrix.FormatDIA, Strategies: StratCacheBlock | StratParallel, run: runDIABlockedParallel[T]},
+		{Name: "dia_blocked_parallel", Format: matrix.FormatDIA, Strategies: StratCacheBlock | StratParallel, run: runDIABlockedParallel[T]()},
 		// ELL family.
 		{Name: "ell_basic", Format: matrix.FormatELL, Strategies: 0, run: runELLBasic[T]},
 		{Name: "ell_unroll4", Format: matrix.FormatELL, Strategies: StratUnroll4, run: runELLUnroll4[T]},
 		{Name: "ell_rowmajor", Format: matrix.FormatELL, Strategies: StratRowMajor, run: runELLRowMajor[T]},
-		{Name: "ell_parallel", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor, run: runELLParallel[T]},
-		{Name: "ell_parallel_unroll4", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runELLParallelUnroll4[T]},
+		{Name: "ell_parallel", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor, run: runELLParallel[T]()},
+		{Name: "ell_parallel_unroll4", Format: matrix.FormatELL, Strategies: StratParallel | StratRowMajor | StratUnroll4, run: runELLParallelUnroll4[T]()},
 		{Name: "ell_width", Format: matrix.FormatELL, Strategies: StratWidthSpec, run: runELLWidth[T]},
-		{Name: "ell_width_parallel", Format: matrix.FormatELL, Strategies: StratWidthSpec | StratParallel, run: runELLWidthParallel[T]},
+		{Name: "ell_width_parallel", Format: matrix.FormatELL, Strategies: StratWidthSpec | StratParallel, run: runELLWidthParallel[T]()},
 	}
 }
 
@@ -257,52 +317,6 @@ func allKernels[T matrix.Float]() []*Kernel[T] {
 // with the given number of nonzeros (one multiply and one add per entry),
 // the paper's GFLOPS denominator.
 func FLOPs(nnz int) int64 { return 2 * int64(nnz) }
-
-// parallelRanges invokes fn(lo, hi) concurrently over an even split of
-// [0, n). Small problems run serially: goroutine fan-out costs more than it
-// saves below a few thousand work items.
-func parallelRanges(threads, n int, fn func(lo, hi int)) {
-	if threads > n {
-		threads = n
-	}
-	if threads <= 1 || n < 2048 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		lo := t * n / threads
-		hi := (t + 1) * n / threads
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// parallelBounds invokes fn over precomputed partition boundaries
-// bounds[0] ≤ bounds[1] ≤ … ≤ bounds[len-1]; chunk t is
-// [bounds[t], bounds[t+1]).
-func parallelBounds(bounds []int, fn func(lo, hi int)) {
-	nchunks := len(bounds) - 1
-	if nchunks <= 1 {
-		if nchunks == 1 {
-			fn(bounds[0], bounds[1])
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(nchunks)
-	for t := 0; t < nchunks; t++ {
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(bounds[t], bounds[t+1])
-	}
-	wg.Wait()
-}
 
 // nnzBalancedRowBounds partitions rows into at most `threads` chunks of
 // roughly equal nonzero count using the CSR row pointer.

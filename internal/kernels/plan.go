@@ -1,0 +1,113 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// serialWork is the estimated-work cutoff below which parallel kernels run
+// their serial body: under ~8k multiply-adds the fan-out barrier costs more
+// than it saves. The estimate counts stored entries (including padding), not
+// rows, so a short-and-fat matrix still parallelises while a tall matrix
+// with a handful of nonzeros per chunk no longer does.
+const serialWork = 8192
+
+// Plan is a matrix's cached execution plan for one thread count: every work
+// partition a kernel of its format may need, computed once on first use and
+// reused by each subsequent Run/RunPooled. Before plans, the partition was
+// recomputed on every call — `threads` binary searches over the CSR row
+// pointer, or a rescan of the COO row indices, per SpMV.
+type Plan struct {
+	// Threads is the effective thread count the partitions target.
+	Threads int
+	// Serial reports that the estimated work is below the parallel cutoff
+	// (or Threads is 1): parallel kernels take their serial body and the
+	// bounds slices below are nil.
+	Serial bool
+	// RowBounds splits the row dimension evenly (CSR/ELL/DIA rows, BCSR
+	// block rows): chunk t covers rows [RowBounds[t], RowBounds[t+1]).
+	RowBounds []int
+	// NNZBounds splits CSR rows into chunks of roughly equal nonzero count
+	// (the nnz-balanced kernels' partition).
+	NNZBounds []int
+	// EntryBounds splits COO entries on row boundaries — roughly equal
+	// nonzeros per chunk with no cross-chunk y writes. For HYB it covers
+	// the COO tail.
+	EntryBounds []int
+	// TailSerial reports that the HYB COO tail is below the cutoff on its
+	// own and accumulates serially after the parallel ELL phase.
+	TailSerial bool
+}
+
+// PlanFor returns the matrix's execution plan for the given thread count
+// (values < 1 are treated as 1), computing and caching it on first use. The
+// cache holds one plan — steady state runs one thread count per matrix — and
+// is safe for concurrent use: racing computations produce identical plans
+// and the last writer simply overwrites.
+func (m *Mat[T]) PlanFor(threads int) *Plan {
+	if threads < 1 {
+		threads = 1
+	}
+	if p := m.plan.Load(); p != nil && p.Threads == threads {
+		return p
+	}
+	p := newPlan(m, threads)
+	m.plan.Store(p)
+	return p
+}
+
+func newPlan[T matrix.Float](m *Mat[T], threads int) *Plan {
+	p := &Plan{Threads: threads}
+	work := 0
+	switch m.Format {
+	case matrix.FormatCSR:
+		work = m.CSR.NNZ()
+	case matrix.FormatCOO:
+		work = m.COO.NNZ()
+	case matrix.FormatDIA:
+		work = m.DIA.Rows * len(m.DIA.Offsets)
+	case matrix.FormatELL:
+		work = m.ELL.Rows * m.ELL.Width
+	case matrix.FormatHYB:
+		work = m.HYB.ELL.Rows*m.HYB.ELL.Width + m.HYB.COO.NNZ()
+	case matrix.FormatBCSR:
+		work = len(m.BCSR.Blocks)
+	}
+	if threads <= 1 || work < serialWork {
+		p.Serial = true
+		return p
+	}
+	switch m.Format {
+	case matrix.FormatCSR:
+		p.RowBounds = evenBounds(m.CSR.Rows, threads)
+		p.NNZBounds = nnzBalancedRowBounds(m.CSR.RowPtr, threads)
+	case matrix.FormatCOO:
+		p.EntryBounds = cooBounds(m.COO, threads)
+	case matrix.FormatDIA:
+		p.RowBounds = evenBounds(m.DIA.Rows, threads)
+	case matrix.FormatELL:
+		p.RowBounds = evenBounds(m.ELL.Rows, threads)
+	case matrix.FormatHYB:
+		p.RowBounds = evenBounds(m.HYB.ELL.Rows, threads)
+		if m.HYB.COO.NNZ() < serialWork {
+			p.TailSerial = true
+		} else {
+			p.EntryBounds = cooBounds(m.HYB.COO, threads)
+		}
+	case matrix.FormatBCSR:
+		p.RowBounds = evenBounds(m.BCSR.BlockRows(), threads)
+	}
+	return p
+}
+
+// evenBounds splits [0, n) into min(threads, n) equal chunks.
+func evenBounds(n, threads int) []int {
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := make([]int, threads+1)
+	for t := 1; t <= threads; t++ {
+		bounds[t] = t * n / threads
+	}
+	return bounds
+}

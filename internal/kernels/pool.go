@@ -1,0 +1,154 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smat/internal/matrix"
+)
+
+// Pool is a persistent set of worker goroutines executing kernel chunks: the
+// steady-state replacement for spawning `threads` goroutines on every SpMV
+// call. Construct one per Library/Tuner with NewPool and pass it to
+// Kernel.RunPooled. Chunk 0 always runs on the dispatching goroutine;
+// workers start lazily on the first parallel dispatch and exit when the pool
+// is closed or garbage-collected.
+//
+// A Pool is safe for concurrent use: one dispatch owns the workers at a
+// time, and concurrent dispatches overflow to per-call goroutines instead of
+// queueing behind each other.
+type Pool[T matrix.Float] struct {
+	s *poolState[T]
+}
+
+// poolState is the worker-visible part of the pool. Workers hold only this
+// inner struct, so an abandoned Pool becomes unreachable, its finalizer
+// runs, and the workers exit instead of leaking.
+type poolState[T matrix.Float] struct {
+	threads int
+
+	mu      sync.Mutex // owns the dispatch fields and worker startup
+	started bool
+	closed  bool
+
+	// Dispatch state, written under mu before the workers are woken:
+	// wake[i] hands chunk i+1 to worker i, and the last worker to finish
+	// signals done (the barrier the dispatcher blocks on).
+	fn      rangeFn[T]
+	mat     *Mat[T]
+	x, y    []T
+	bounds  []int
+	pending atomic.Int32
+	wake    []chan struct{}
+	done    chan struct{}
+	stop    chan struct{}
+}
+
+// NewPool builds a worker pool with the given thread fan-out; threads ≤ 0
+// resolves GOMAXPROCS once, here, instead of on every kernel call.
+func NewPool[T matrix.Float](threads int) *Pool[T] {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	s := &poolState[T]{
+		threads: threads,
+		done:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	p := &Pool[T]{s: s}
+	runtime.SetFinalizer(p, func(p *Pool[T]) { p.s.shutdown() })
+	return p
+}
+
+// Threads returns the pool's resolved thread count.
+func (p *Pool[T]) Threads() int { return p.s.threads }
+
+// Close stops the workers. Kernels may still be dispatched to a closed pool;
+// they fall back to per-call goroutine fan-out.
+func (p *Pool[T]) Close() {
+	runtime.SetFinalizer(p, nil)
+	p.s.shutdown()
+}
+
+func (s *poolState[T]) shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+}
+
+// tryRun dispatches the bounds chunks across the workers, returning false
+// when the pool is busy with another SpMV or closed (the caller then falls
+// back to spawning). The dispatching goroutine computes chunk 0 itself and
+// blocks on the completion barrier. The whole dispatch allocates nothing.
+func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	nchunks := len(bounds) - 1
+	if s.closed || nchunks > s.threads {
+		return false
+	}
+	if !s.started {
+		s.start()
+	}
+	s.fn, s.mat, s.x, s.y, s.bounds = fn, m, x, y, bounds
+	s.pending.Store(int32(nchunks - 1))
+	for w := 0; w < nchunks-1; w++ {
+		s.wake[w] <- struct{}{}
+	}
+	fn(m, x, y, bounds[0], bounds[1])
+	<-s.done
+	s.fn, s.mat, s.x, s.y, s.bounds = nil, nil, nil, nil, nil
+	return true
+}
+
+// start launches the workers. It runs under mu on the first parallel
+// dispatch, so pools that only ever see serial work cost no goroutines.
+func (s *poolState[T]) start() {
+	s.started = true
+	s.wake = make([]chan struct{}, s.threads-1)
+	for i := range s.wake {
+		s.wake[i] = make(chan struct{})
+		go s.worker(i)
+	}
+}
+
+// worker executes chunk i+1 of each dispatch it is woken for; the last
+// worker to finish releases the dispatcher's barrier. The field reads are
+// ordered by the wake send (before) and the pending decrement (after), so
+// the dispatcher never reuses the slots while a worker still reads them.
+func (s *poolState[T]) worker(i int) {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake[i]:
+			s.fn(s.mat, s.x, s.y, s.bounds[i+1], s.bounds[i+2])
+			if s.pending.Add(-1) == 0 {
+				s.done <- struct{}{}
+			}
+		}
+	}
+}
+
+// spawnChunks is the pool-less dispatch: one fresh goroutine per chunk
+// beyond the caller's, joined on a WaitGroup — the pre-engine execution
+// path, kept for Kernel.Run and as the overflow path when the pool is busy.
+func spawnChunks[T matrix.Float](bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
+	nchunks := len(bounds) - 1
+	var wg sync.WaitGroup
+	wg.Add(nchunks - 1)
+	for t := 1; t < nchunks; t++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(m, x, y, lo, hi)
+		}(bounds[t], bounds[t+1])
+	}
+	fn(m, x, y, bounds[0], bounds[1])
+	wg.Wait()
+}

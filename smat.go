@@ -22,6 +22,12 @@
 // sharded feature-keyed cache with singleflight deduplication, so the
 // tuning cost of a matrix structure is paid once and amortised across all
 // goroutines that hit it.
+//
+// Repeated SpMV calls run on a steady-state execution engine: each tuner
+// owns a persistent pool of worker goroutines (created once, thread count
+// resolved once) and each matrix caches its execution plan (load-balanced
+// work partition), so the per-call hot path spawns nothing, re-partitions
+// nothing, and allocates nothing.
 package smat
 
 import (
@@ -230,6 +236,13 @@ func NewTunerThreads[T Float](model *Model, threads int) *Tuner[T] {
 
 // Threads returns the tuner's thread configuration.
 func (t *Tuner[T]) Threads() int { return t.inner.Threads() }
+
+// Close releases the tuner's persistent kernel worker pool (the steady-state
+// execution engine). Operators the tuner has produced remain usable — their
+// parallel kernels fall back to spawning goroutines per call — and an
+// abandoned tuner sheds its workers on garbage collection, so Close is an
+// optimisation for deterministic shutdown, not an obligation.
+func (t *Tuner[T]) Close() { t.inner.Close() }
 
 // Stats snapshots the tuner's decision-cache counters: hits, misses,
 // singleflight-shared waits, LRU evictions and low-confidence refreshes.
