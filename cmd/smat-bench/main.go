@@ -7,13 +7,21 @@
 // Experiments: table1, figure1, figure3, figure6, figure9, figure10,
 // table3, table4, ablation-threshold, ablation-tailoring,
 // ablation-features, ablation-scoreboard, extensions, cache, steady, all.
+//
+// Every experiment has a machine-readable JSON artifact named
+// BENCH_<experiment>.json; pass -json-dir to write them (the steady
+// experiment keeps its dedicated -steady-out path). The benchjson analyzer
+// in smat-lint checks that the table below stays total: each experiment
+// declares exactly one artifact and the names agree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,22 +30,70 @@ import (
 	"smat/internal/bench"
 )
 
+// experiment is one row of the experiment table: the name the -experiment
+// flag accepts, the JSON artifact schema the run writes, and the runner
+// returning the serialisable result.
+type experiment struct {
+	name     string
+	artifact string
+	run      func(cfg bench.Config) (any, error)
+}
+
+// experimentTable declares every experiment in paper order. smat-lint's
+// benchjson analyzer enforces: unique non-empty literal names, artifact ==
+// "BENCH_<name>.json", and a run function per entry.
+func experimentTable() []experiment {
+	return []experiment{
+		{name: "table1", artifact: "BENCH_table1.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Table1(cfg), nil }},
+		{name: "figure1", artifact: "BENCH_figure1.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Figure1(cfg) }},
+		{name: "figure3", artifact: "BENCH_figure3.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Figure3(cfg), nil }},
+		{name: "figure6", artifact: "BENCH_figure6.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Figure6(cfg), nil }},
+		{name: "figure9", artifact: "BENCH_figure9.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Figure9(cfg), nil }},
+		{name: "figure10", artifact: "BENCH_figure10.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Figure10(cfg), nil }},
+		{name: "table3", artifact: "BENCH_table3.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Table3(cfg), nil }},
+		{name: "table4", artifact: "BENCH_table4.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Table4(cfg) }},
+		{name: "ablation-threshold", artifact: "BENCH_ablation-threshold.json",
+			run: func(cfg bench.Config) (any, error) { return bench.AblationThreshold(cfg, nil), nil }},
+		{name: "ablation-tailoring", artifact: "BENCH_ablation-tailoring.json",
+			run: func(cfg bench.Config) (any, error) { return bench.AblationTailoring(cfg) }},
+		{name: "ablation-features", artifact: "BENCH_ablation-features.json",
+			run: func(cfg bench.Config) (any, error) { return bench.AblationFeatures(cfg) }},
+		{name: "ablation-scoreboard", artifact: "BENCH_ablation-scoreboard.json",
+			run: func(cfg bench.Config) (any, error) { return bench.AblationScoreboard(cfg), nil }},
+		{name: "extensions", artifact: "BENCH_extensions.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Extensions(cfg), nil }},
+		{name: "cache", artifact: "BENCH_cache.json",
+			run: func(cfg bench.Config) (any, error) { return bench.CacheBench(cfg), nil }},
+		{name: "steady", artifact: "BENCH_steady.json",
+			run: func(cfg bench.Config) (any, error) { return bench.Steady(cfg), nil }},
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smat-bench: ")
 
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, extensions, cache, steady, all)")
-		modelPath  = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
-		scale      = flag.Float64("scale", 0.25, "workload size scale (0,1]")
-		stride     = flag.Int("stride", 8, "corpus sampling stride for corpus-wide experiments")
-		threads    = flag.Int("threads", 0, "platform A threads (0 = GOMAXPROCS)")
-		threadsB   = flag.Int("threads-b", 0, "platform B threads (0 = half of A)")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		minTimeMS  = flag.Float64("mintime-ms", 1, "per-measurement minimum timing window (ms)")
-		trials     = flag.Int("trials", 3, "measurement trials (fastest wins)")
-		dataDir    = flag.String("data-dir", "", "write plot-ready .tsv series per experiment into this directory")
-		steadyOut  = flag.String("steady-out", "BENCH_steady.json", "JSON artifact path for the steady experiment (empty = don't write)")
+		experimentID = flag.String("experiment", "all", "experiment id (table1, figure1, figure3, figure6, figure9, figure10, table3, table4, ablation-*, extensions, cache, steady, all)")
+		modelPath    = flag.String("model", "", "trained model JSON (default: built-in heuristic model)")
+		scale        = flag.Float64("scale", 0.25, "workload size scale (0,1]")
+		stride       = flag.Int("stride", 8, "corpus sampling stride for corpus-wide experiments")
+		threads      = flag.Int("threads", 0, "platform A threads (0 = GOMAXPROCS)")
+		threadsB     = flag.Int("threads-b", 0, "platform B threads (0 = half of A)")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		minTimeMS    = flag.Float64("mintime-ms", 1, "per-measurement minimum timing window (ms)")
+		trials       = flag.Int("trials", 3, "measurement trials (fastest wins)")
+		dataDir      = flag.String("data-dir", "", "write plot-ready .tsv series per experiment into this directory")
+		jsonDir      = flag.String("json-dir", "", "write each experiment's BENCH_<name>.json artifact into this directory")
+		steadyOut    = flag.String("steady-out", "BENCH_steady.json", "JSON artifact path for the steady experiment (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -68,81 +124,65 @@ func main() {
 		DataDir: *dataDir,
 	}
 
-	if *dataDir != "" {
-		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
-			log.Fatal(err)
+	for _, dir := range []string{*dataDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
-	run := func(name string, fn func() error) {
-		fmt.Printf("\n=== %s ===\n", name)
+	artifactPath := func(e experiment) string {
+		if e.name == "steady" {
+			return *steadyOut
+		}
+		if *jsonDir == "" {
+			return ""
+		}
+		return filepath.Join(*jsonDir, e.artifact)
+	}
+
+	run := func(e experiment) {
+		fmt.Printf("\n=== %s ===\n", e.name)
 		start := time.Now()
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+		res, err := e.run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
 		}
-		fmt.Printf("(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+		if path := artifactPath(e); path != "" {
+			if err := writeArtifact(path, res); err != nil {
+				log.Fatalf("%s: writing %s: %v", e.name, path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("(%s in %s)\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 
-	experiments := map[string]func() error{
-		"table1":  func() error { bench.Table1(cfg); return nil },
-		"figure1": func() error { _, err := bench.Figure1(cfg); return err },
-		"figure3": func() error { bench.Figure3(cfg); return nil },
-		"figure6": func() error { bench.Figure6(cfg); return nil },
-		"figure9": func() error { bench.Figure9(cfg); return nil },
-		"figure10": func() error {
-			bench.Figure10(cfg)
-			return nil
-		},
-		"table3": func() error { bench.Table3(cfg); return nil },
-		"table4": func() error { _, err := bench.Table4(cfg); return err },
-		"ablation-threshold": func() error {
-			bench.AblationThreshold(cfg, nil)
-			return nil
-		},
-		"ablation-tailoring": func() error { _, err := bench.AblationTailoring(cfg); return err },
-		"ablation-features":  func() error { _, err := bench.AblationFeatures(cfg); return err },
-		"ablation-scoreboard": func() error {
-			bench.AblationScoreboard(cfg)
-			return nil
-		},
-		"extensions": func() error {
-			bench.Extensions(cfg)
-			return nil
-		},
-		"cache": func() error {
-			bench.CacheBench(cfg)
-			return nil
-		},
-		"steady": func() error {
-			res := bench.Steady(cfg)
-			if *steadyOut == "" {
-				return nil
-			}
-			if err := res.SaveJSON(*steadyOut); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *steadyOut)
-			return nil
-		},
-	}
-	order := []string{
-		"table1", "figure1", "figure3", "figure6", "figure9", "figure10",
-		"table3", "table4",
-		"ablation-threshold", "ablation-tailoring", "ablation-features", "ablation-scoreboard",
-		"extensions", "cache", "steady",
-	}
-
-	switch *experiment {
+	table := experimentTable()
+	switch *experimentID {
 	case "all":
-		for _, name := range order {
-			run(name, experiments[name])
+		for _, e := range table {
+			run(e)
 		}
 	default:
-		fn, ok := experiments[*experiment]
-		if !ok {
-			log.Fatalf("unknown experiment %q; choose one of %s or all",
-				*experiment, strings.Join(order, ", "))
+		var names []string
+		for _, e := range table {
+			if e.name == *experimentID {
+				run(e)
+				return
+			}
+			names = append(names, e.name)
 		}
-		run(*experiment, fn)
+		log.Fatalf("unknown experiment %q; choose one of %s or all",
+			*experimentID, strings.Join(names, ", "))
 	}
+}
+
+// writeArtifact writes v as an indented JSON artifact.
+func writeArtifact(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,139 @@
+// Command smat-lint runs the project's own static analyzers over the tree:
+//
+//	go run ./cmd/smat-lint ./...
+//
+// Analyzers (select a subset with -run):
+//
+//	hotpath    //smat:hotpath bodies must not allocate or call slow packages
+//	kernelreg  kernel registry: top-level chunk funcs, unique names, format
+//	           and partitioner coverage
+//	syncsafety copies and hostile storage of sync/atomic-bearing values,
+//	           misaligned 64-bit atomics
+//	benchjson  smat-bench experiment table: one BENCH_<name>.json per name
+//
+// The escape-analysis regression gate (-escapes, on by default) additionally
+// compiles the module with -gcflags=-m=1 and fails when a hot-path body
+// gains a heap escape missing from internal/analysis/escapes/baseline.txt;
+// -update-escapes rewrites that baseline after an intentional change.
+//
+// Exit status: 0 clean, 1 findings or gate regression, 2 usage/load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smat/internal/analysis/benchjson"
+	"smat/internal/analysis/escapes"
+	"smat/internal/analysis/framework"
+	"smat/internal/analysis/hotpath"
+	"smat/internal/analysis/kernelreg"
+	"smat/internal/analysis/syncsafety"
+)
+
+var all = []*framework.Analyzer{
+	hotpath.Analyzer,
+	kernelreg.Analyzer,
+	syncsafety.Analyzer,
+	benchjson.Analyzer,
+}
+
+func main() {
+	var (
+		runList       = flag.String("run", "", "comma-separated analyzer names (default: all)")
+		tests         = flag.Bool("tests", true, "also analyze test files")
+		gate          = flag.Bool("escapes", true, "run the escape-analysis regression gate")
+		updateEscapes = flag.Bool("update-escapes", false, "rewrite the escape baseline from the current build")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smat-lint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := framework.Load(framework.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smat-lint: load:", err)
+		os.Exit(2)
+	}
+	loadOK := true
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "smat-lint: %s: type error: %v\n", p.ImportPath, terr)
+			loadOK = false
+		}
+	}
+	if !loadOK {
+		os.Exit(2)
+	}
+
+	diags, err := framework.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smat-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+
+	failed := len(diags) > 0
+
+	switch {
+	case *updateEscapes:
+		entries, err := escapes.Update(escapes.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smat-lint: escapes:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("escapes: baseline rewritten with %d entries\n", len(entries))
+	case *gate:
+		fresh, stale, err := escapes.Check(escapes.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smat-lint: escapes:", err)
+			os.Exit(2)
+		}
+		for _, e := range fresh {
+			fmt.Printf("escapes: new hot-path heap escape: %s\n", e)
+		}
+		if len(fresh) > 0 {
+			fmt.Println("escapes: rerun with -update-escapes if these are intentional")
+			failed = true
+		}
+		for _, e := range stale {
+			fmt.Printf("escapes: note: baseline entry no longer produced: %s\n", e)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(runList string) ([]*framework.Analyzer, error) {
+	if runList == "" {
+		return all, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*framework.Analyzer
+	for _, name := range strings.Split(runList, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+// Package benchjson implements the smat-lint analyzer keeping the smat-bench
+// experiment table total: every experiment the -experiment flag accepts must
+// declare exactly one machine-readable BENCH_<name>.json artifact.
+//
+// The analyzer activates on any package declaring a top-level function named
+// experimentTable. Within every composite literal that function builds whose
+// struct type has name/artifact fields, it checks:
+//
+//   - the name is a unique, non-empty string literal (the bench driver and
+//     the CI artifact matrix are keyed by it);
+//   - the artifact is exactly "BENCH_" + name + ".json" — one derivable
+//     schema file per experiment, no drift between flag names and artifacts;
+//   - a run function is present.
+//
+// It then scans the rest of the package for stray BENCH_*.json string
+// literals: any such literal that is not one of the declared artifacts
+// means an experiment writer bypassed the table (or a name was renamed
+// without its artifact).
+package benchjson
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"smat/internal/analysis/framework"
+)
+
+// Analyzer is the benchjson analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "benchjson",
+	Doc:  "keep smat-bench's experiment table total: unique names, one BENCH_<name>.json artifact each, no stray artifact literals",
+	Run:  run,
+}
+
+var benchArtifactRE = regexp.MustCompile(`^BENCH_[^/\\]*\.json$`)
+
+func run(pass *framework.Pass) error {
+	var table *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "experimentTable" {
+				table = fd
+			}
+		}
+	}
+	if table == nil || table.Body == nil {
+		return nil // not the bench driver package
+	}
+
+	artifacts := collectTable(pass, table)
+
+	// Stray artifact literals outside the table.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd == table {
+				return false
+			}
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true
+			}
+			s := strings.Trim(lit.Value, `"`)
+			if benchArtifactRE.MatchString(s) && !artifacts[s] {
+				pass.Reportf(lit.Pos(), "artifact literal %q is not declared by any experimentTable entry; route it through the table", s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectTable validates the experiment entries and returns the set of
+// declared artifact names.
+func collectTable(pass *framework.Pass, table *ast.FuncDecl) map[string]bool {
+	artifacts := map[string]bool{}
+	names := map[string]bool{}
+
+	ast.Inspect(table.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isExperimentLit(pass, lit) {
+			return true
+		}
+		var name string
+		var nameOK, haveArtifact, haveRun bool
+		var artifactExpr ast.Expr
+		var artifact string
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "name":
+				if b, ok := kv.Value.(*ast.BasicLit); ok {
+					name = strings.Trim(b.Value, `"`)
+					nameOK = name != ""
+				}
+				if !nameOK {
+					pass.Reportf(kv.Value.Pos(), "experiment name must be a non-empty string literal")
+				}
+			case "artifact":
+				haveArtifact = true
+				artifactExpr = kv.Value
+				if b, ok := kv.Value.(*ast.BasicLit); ok {
+					artifact = strings.Trim(b.Value, `"`)
+				}
+			case "run":
+				haveRun = true
+			}
+		}
+		if nameOK {
+			if names[name] {
+				pass.Reportf(lit.Pos(), "duplicate experiment name %q", name)
+			}
+			names[name] = true
+			want := "BENCH_" + name + ".json"
+			switch {
+			case !haveArtifact:
+				pass.Reportf(lit.Pos(), "experiment %q declares no artifact; want %q", name, want)
+			case artifact != want:
+				pass.Reportf(artifactExpr.Pos(), "experiment %q artifact is %q; want %q", name, artifact, want)
+			default:
+				artifacts[artifact] = true
+			}
+		}
+		if !haveRun {
+			pass.Reportf(lit.Pos(), "experiment %q has no run function", name)
+		}
+		return false
+	})
+	return artifacts
+}
+
+// isExperimentLit reports whether the composite literal builds a struct with
+// name and artifact fields (the experiment row type).
+func isExperimentLit(pass *framework.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasName, hasArtifact bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "name":
+			hasName = true
+		case "artifact":
+			hasArtifact = true
+		}
+	}
+	return hasName && hasArtifact
+}

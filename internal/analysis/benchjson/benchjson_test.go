@@ -1,0 +1,11 @@
+package benchjson
+
+import (
+	"testing"
+
+	"smat/internal/analysis/framework/analysistest"
+)
+
+func TestBenchJSON(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/bj")
+}

@@ -1,0 +1,36 @@
+// Package bj is the benchjson analyzer fixture: a miniature smat-bench
+// experiment table with artifact-contract violations.
+package bj
+
+type config struct{ scale float64 }
+
+type experiment struct {
+	name     string
+	artifact string
+	run      func(cfg config) (any, error)
+}
+
+func runTable1(cfg config) (any, error)  { return nil, nil }
+func runFigure3(cfg config) (any, error) { return nil, nil }
+
+func experimentTable() []experiment {
+	return []experiment{
+		{name: "table1", artifact: "BENCH_table1.json", run: runTable1},
+		{name: "figure3", artifact: "BENCH_fig3.json", run: runFigure3}, // want `artifact is "BENCH_fig3.json"; want "BENCH_figure3.json"`
+		{name: "table1", artifact: "BENCH_table1.json", run: runTable1}, // want `duplicate experiment name "table1"`
+		{name: "cache", run: runTable1},                                 // want `declares no artifact`
+		{name: "steady", artifact: "BENCH_steady.json"},                 // want `has no run function`
+		{name: "", artifact: "BENCH_.json", run: runTable1},             // want `non-empty string literal`
+	}
+}
+
+// writeSteady writes the artifact declared by the table: fine.
+func writeSteady() string { return "BENCH_steady.json" }
+
+// writeStray bypasses the table.
+func writeStray() string {
+	return "BENCH_orphan.json" // want `not declared by any experimentTable entry`
+}
+
+// notAnArtifact is an unrelated literal: ignored.
+func notAnArtifact() string { return "model.json" }

@@ -1,0 +1,291 @@
+// Package escapes implements smat-lint's escape-analysis regression gate.
+//
+// The hot-path analyzer proves the annotated functions contain no
+// heap-allocating constructs, but the compiler can still decide that a
+// parameter or local escapes (interface boxing introduced by a refactor, a
+// captured variable, a slice whose bound stopped being provable). The gate
+// closes that hole empirically: it runs the real compiler with -m=1 over the
+// module, keeps the "escapes to heap" / "moved to heap" diagnostics that land
+// inside //smat:hotpath (and hotpath-factory closure) bodies in the gated
+// directories, and compares them against a checked-in baseline. A new entry
+// fails the build; intentional changes re-baseline with -update-escapes.
+//
+// Entries are keyed by file and enclosing function, not line numbers, so
+// unrelated edits don't churn the baseline; generic shape names
+// (go.shape.float64 etc.) are normalised to go.shape.T so the entry set is
+// identical across instantiations.
+package escapes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smat/internal/analysis/framework"
+)
+
+// Config parameterises the gate.
+type Config struct {
+	// ModuleDir is the module root the build runs in ("." by default).
+	ModuleDir string
+	// Patterns are the build patterns (default ./...). Building the whole
+	// module matters: generic kernels are only compiled — and escape-analysed
+	// — inside the packages that instantiate them.
+	Patterns []string
+	// GcflagsScope is the package pattern receiving -m=1 (default smat/...).
+	GcflagsScope string
+	// HotDirs are module-relative directories whose annotated functions are
+	// gated (default internal/kernels, internal/autotune).
+	HotDirs []string
+	// BaselinePath is the baseline file, module-relative
+	// (default internal/analysis/escapes/baseline.txt).
+	BaselinePath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModuleDir == "" {
+		c.ModuleDir = "."
+	}
+	if len(c.Patterns) == 0 {
+		c.Patterns = []string{"./..."}
+	}
+	if c.GcflagsScope == "" {
+		c.GcflagsScope = "smat/..."
+	}
+	if len(c.HotDirs) == 0 {
+		c.HotDirs = []string{"internal/kernels", "internal/autotune"}
+	}
+	if c.BaselinePath == "" {
+		c.BaselinePath = "internal/analysis/escapes/baseline.txt"
+	}
+	return c
+}
+
+// hotRange is one gated body: an annotated function, or a closure returned by
+// an annotated factory.
+type hotRange struct {
+	file       string // module-relative path
+	start, end int    // line range, inclusive
+	name       string // function name ("runCSRParallel.func" for closures)
+}
+
+// Current compiles the module with -m=1 and returns the sorted, normalised
+// escape entries inside gated hot bodies.
+func Current(cfg Config) ([]string, error) {
+	cfg = cfg.withDefaults()
+	ranges, err := collectHotRanges(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := compileDiagnostics(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return matchEntries(cfg, ranges, out), nil
+}
+
+// Check returns the entries new against the baseline and the stale baseline
+// entries no longer produced. Only new entries are regressions.
+func Check(cfg Config) (fresh, stale []string, err error) {
+	cfg = cfg.withDefaults()
+	current, err := Current(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline, err := readBaseline(filepath.Join(cfg.ModuleDir, cfg.BaselinePath))
+	if err != nil {
+		return nil, nil, err
+	}
+	base := map[string]bool{}
+	for _, e := range baseline {
+		base[e] = true
+	}
+	cur := map[string]bool{}
+	for _, e := range current {
+		cur[e] = true
+		if !base[e] {
+			fresh = append(fresh, e)
+		}
+	}
+	for _, e := range baseline {
+		if !cur[e] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale, nil
+}
+
+// Update rewrites the baseline with the current entry set.
+func Update(cfg Config) ([]string, error) {
+	cfg = cfg.withDefaults()
+	current, err := Current(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("# smat-lint escape-analysis baseline: accepted heap escapes inside\n")
+	b.WriteString("# //smat:hotpath bodies. Regenerate with smat-lint -update-escapes.\n")
+	for _, e := range current {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(cfg.ModuleDir, cfg.BaselinePath)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return nil, err
+	}
+	return current, nil
+}
+
+// collectHotRanges parses the gated directories (syntax only — no type
+// information is needed to find directives) and gathers annotated bodies.
+func collectHotRanges(cfg Config) ([]hotRange, error) {
+	var ranges []hotRange
+	fset := token.NewFileSet()
+	for _, dir := range cfg.HotDirs {
+		matches, err := filepath.Glob(filepath.Join(cfg.ModuleDir, dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range matches {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", path, err)
+			}
+			rel := filepath.ToSlash(filepath.Join(dir, filepath.Base(path)))
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				dirs := framework.FuncDirectives(fd)
+				switch {
+				case dirs["smat:hotpath"]:
+					ranges = append(ranges, hotRange{
+						file:  rel,
+						start: fset.Position(fd.Pos()).Line,
+						end:   fset.Position(fd.End()).Line,
+						name:  fd.Name.Name,
+					})
+				case dirs["smat:hotpath-factory"]:
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						ret, ok := n.(*ast.ReturnStmt)
+						if !ok {
+							return !isFuncLit(n)
+						}
+						for _, res := range ret.Results {
+							if lit, ok := res.(*ast.FuncLit); ok {
+								ranges = append(ranges, hotRange{
+									file:  rel,
+									start: fset.Position(lit.Pos()).Line,
+									end:   fset.Position(lit.End()).Line,
+									name:  fd.Name.Name + ".func",
+								})
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return ranges, nil
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}
+
+// compileDiagnostics runs the compiler with -m=1 and returns its stderr. The
+// build cache replays diagnostics for unchanged packages, so repeated runs
+// stay fast.
+func compileDiagnostics(cfg Config) (string, error) {
+	args := append([]string{"build", "-gcflags=" + cfg.GcflagsScope + "=-m=1"}, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.ModuleDir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -m failed: %v\n%s", err, tail(stderr.String(), 2048))
+	}
+	return stderr.String(), nil
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n:]
+}
+
+var (
+	diagRE  = regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*)$`)
+	shapeRE = regexp.MustCompile(`go\.shape\.[A-Za-z0-9_]+`)
+)
+
+// matchEntries keeps escape diagnostics inside hot ranges and normalises them
+// into stable "file:function: message" entries.
+func matchEntries(cfg Config, ranges []hotRange, buildOutput string) []string {
+	byFile := map[string][]hotRange{}
+	for _, r := range ranges {
+		byFile[r.file] = append(byFile[r.file], r)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(buildOutput, "\n") {
+		m := diagRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := filepath.ToSlash(filepath.Clean(m[1]))
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, r := range byFile[file] {
+			if lineNo >= r.start && lineNo <= r.end {
+				msg = shapeRE.ReplaceAllString(msg, "go.shape.T")
+				seen[fmt.Sprintf("%s:%s: %s", file, r.name, msg)] = true
+				break
+			}
+		}
+	}
+	entries := make([]string, 0, len(seen))
+	for e := range seen {
+		entries = append(entries, e)
+	}
+	sort.Strings(entries)
+	return entries
+}
+
+// readBaseline loads the baseline entries; a missing file is an empty
+// baseline (every current entry is then new).
+func readBaseline(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return entries, nil
+}

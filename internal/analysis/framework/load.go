@@ -1,0 +1,181 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-check errors. Loading proceeds past them
+	// (fixture packages under test are still analyzable), but drivers should
+	// surface them.
+	TypeErrors []error
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the working directory for the go tool ("" = current).
+	Dir string
+	// Tests includes in-package _test.go files in the analyzed syntax.
+	Tests bool
+	// Env appends to the go tool's environment.
+	Env []string
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	DepOnly     bool
+	ForTest     string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Incomplete  bool
+	Error       *struct{ Err string }
+}
+
+// Load lists the given package patterns with the go tool, then parses and
+// type-checks each matched package from source. Dependencies are resolved
+// through compiler export data produced by `go list -export` — the same
+// offline strategy cmd/vet's unitchecker uses — so no network access or
+// third-party machinery is involved.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Resolve the target set first: `-deps -test` below lists the whole
+	// dependency closure and marks roots inconsistently across test variants,
+	// so the authoritative "what did the pattern match" answer comes from a
+	// plain go list.
+	wantCmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	wantCmd.Dir = cfg.Dir
+	wantCmd.Env = append(os.Environ(), cfg.Env...)
+	var wantErr bytes.Buffer
+	wantCmd.Stderr = &wantErr
+	wantOut, err := wantCmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, wantErr.String())
+	}
+	want := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(wantOut)), "\n") {
+		if line != "" {
+			want[line] = true
+		}
+	}
+
+	args := []string{"list", "-e", "-export", "-json", "-deps"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Test variants are listed as "path [root.test]"; their export data
+		// describes the augmented package, which the plain key must not
+		// shadow. Synthesized test mains ("path.test") are skipped entirely.
+		bracketed := strings.Contains(p.ImportPath, " [")
+		if p.Export != "" && !bracketed {
+			exports[p.ImportPath] = p.Export
+		}
+		if bracketed || p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") || !want[p.ImportPath] {
+			continue
+		}
+		want[p.ImportPath] = false // dedupe
+		q := p
+		targets = append(targets, &q)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := append(append([]string{}, t.GoFiles...), t.CgoFiles...)
+		if cfg.Tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var syntax []*ast.File
+		for _, name := range files {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(t.Dir, name)
+			}
+			af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", path, err)
+			}
+			syntax = append(syntax, af)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Fset: fset, Syntax: syntax, Info: info}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, _ := conf.Check(t.ImportPath, fset, syntax, info)
+		pkg.Types = tpkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

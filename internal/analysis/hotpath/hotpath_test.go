@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"smat/internal/analysis/framework/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/hp")
+}

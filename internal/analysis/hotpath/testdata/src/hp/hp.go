@@ -1,0 +1,136 @@
+// Package hp is the hotpath analyzer fixture: annotated functions exercising
+// every rule (positive cases carry want comments) next to unannotated and
+// clean annotated functions that must stay silent.
+package hp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type vec []float64
+
+type plan struct {
+	Serial bool
+	Bounds []int
+}
+
+type mat struct {
+	rows int
+	vals []float64
+}
+
+type runFn func(m *mat, x, y []float64)
+
+// sink defeats "declared and not used" in violation bodies.
+var sink any
+
+// --- positive cases -------------------------------------------------------
+
+//smat:hotpath
+func badAlloc(m *mat, x, y []float64) {
+	buf := make([]float64, m.rows) // want `calls make`
+	_ = buf
+	y = append(y, 1) // want `calls append`
+	p := new(plan)   // want `calls new`
+	_ = p
+	s := []int{1, 2} // want `allocates a slice literal`
+	_ = s
+	mp := map[int]int{1: 2} // want `allocates a map literal`
+	_ = mp
+	pp := &plan{Serial: true} // want `takes the address of a composite literal`
+	_ = pp
+}
+
+//smat:hotpath
+func badCalls(m *mat, x, y []float64) {
+	fmt.Println(m.rows) // want `calls fmt.Println`
+	_ = time.Now()      // want `calls time.Now`
+	_ = rand.Float64()  // want `calls math/rand.Float64`
+	defer doNothing()   // want `uses defer`
+	go doNothing()      // want `spawns a goroutine`
+}
+
+//smat:hotpath
+func badClosure(m *mat, x, y []float64) {
+	f := func() { y[0] = 1 } // want `allocates a closure`
+	f()
+}
+
+//smat:hotpath
+func badIface(m *mat, x, y []float64) {
+	sink = m.rows               // want `boxing allocation`
+	takeAny(m.vals)             // want `boxing allocation`
+	_ = []byte("ab"[m.rows%2:]) // want `converts between string and byte/rune slice`
+	panic(m.rows)               // want `panics with a non-constant value`
+}
+
+//smat:hotpath
+func badMethodValue(mu *sync.Mutex) {
+	f := mu.Unlock // want `allocates a method value`
+	_ = f
+}
+
+// badFactoryNoLit never returns a closure, so the directive is inert.
+//
+//smat:hotpath-factory
+func badFactoryNoLit() int { // want `returns no func literal`
+	return 0
+}
+
+//smat:hotpath-factory
+func badFactory() runFn {
+	// Setup statements are exempt: allocating the chunk binding here is the
+	// whole point of the factory pattern.
+	bounds := make([]int, 4)
+	return func(m *mat, x, y []float64) {
+		_ = bounds
+		tmp := make([]float64, 1) // want `calls make`
+		_ = tmp
+	}
+}
+
+// --- negative cases -------------------------------------------------------
+
+//smat:hotpath
+func goodChunk(m *mat, x, y []float64, lo, hi int) {
+	clear(y[lo:hi])
+	for i := lo; i < hi; i++ {
+		y[i] += m.vals[i] * x[i]
+	}
+	if len(y) == 0 {
+		panic("hp: empty y") // constant panic value: static data, no box
+	}
+}
+
+//smat:hotpath
+func goodStructLit(m *mat) plan {
+	// Value composite literals live on the stack.
+	return plan{Serial: m.rows < 8}
+}
+
+//smat:hotpath
+func goodPtrIface(m *mat) {
+	// Pointer-shaped values fit the interface data word without boxing.
+	takeAny(m)
+}
+
+//smat:hotpath-factory
+func goodFactory() runFn {
+	chunk := vec(make([]float64, 8))
+	return func(m *mat, x, y []float64) {
+		copy(y, chunk)
+	}
+}
+
+// unannotated may do anything.
+func coldHelper() []float64 {
+	fmt.Println("cold")
+	return append([]float64{}, rand.Float64())
+}
+
+func doNothing() {}
+
+func takeAny(v any) { sink = v }

@@ -1,0 +1,400 @@
+// Package kernelreg implements the smat-lint analyzer that cross-checks the
+// kernel registry against the format universe and the plan layer.
+//
+// The analyzer activates on any package that declares a top-level function
+// named allKernels (the kernel registry root; internal/kernels in this
+// repository). It gathers every kernel entry registered by provider
+// functions — top-level functions returning a slice of *Kernel — and checks:
+//
+//   - kernel names are unique, non-empty string literals;
+//   - every entry's run field is a top-level function (optionally a generic
+//     instantiation) or a call to a top-level factory — never a closure or a
+//     variable, so registration is the only place function values are built
+//     (the PR 2 funcval trick that keeps pooled dispatch allocation-free);
+//   - every factory binds its chunk functions once, in the factory body:
+//     conversions to the chunk type (rangeFn) must wrap top-level functions
+//     and must not appear inside the returned per-call closure;
+//   - every factory-returned closure handles the serial plan cutoff (an
+//     ex.plan.Serial branch), so small matrices never pay the fan-out;
+//   - every exported constant of the registry's Format type — wherever that
+//     type is defined — has at least one registered kernel and at least one
+//     strategy-free basic kernel (the scoreboard anchor);
+//   - the package's newPlan function has a partitioner case for every such
+//     format constant.
+package kernelreg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"smat/internal/analysis/framework"
+)
+
+// Analyzer is the kernelreg analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "kernelreg",
+	Doc:  "cross-check the kernel registry: top-level chunk funcs, unique names, full format and partitioner coverage",
+	Run:  run,
+}
+
+// entry is one registered kernel gathered from a provider function.
+type entry struct {
+	lit        *ast.CompositeLit
+	name       string
+	nameOK     bool
+	format     *types.Const
+	strategies bool // true when the Strategies field is present and nonzero
+	runExpr    ast.Expr
+}
+
+func run(pass *framework.Pass) error {
+	decls := topLevelFuncs(pass.Files)
+	if _, ok := decls["allKernels"]; !ok {
+		return nil // not a kernel-registry package
+	}
+
+	entries, formatType := collectEntries(pass, decls)
+	if len(entries) == 0 {
+		return nil
+	}
+
+	checkNames(pass, entries)
+	checkRunFields(pass, decls, entries)
+	if formatType != nil {
+		consts := formatConstants(pass, formatType)
+		checkFormatCoverage(pass, decls["allKernels"], entries, consts)
+		checkPlanCoverage(pass, decls, consts)
+	}
+	return nil
+}
+
+// topLevelFuncs indexes the package's function declarations by name.
+func topLevelFuncs(files []*ast.File) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+				out[fd.Name.Name] = fd
+			}
+		}
+	}
+	return out
+}
+
+// collectEntries gathers kernel composite literals from every provider (a
+// top-level function returning []*Kernel or []Kernel) and the Format field's
+// named type.
+func collectEntries(pass *framework.Pass, decls map[string]*ast.FuncDecl) ([]*entry, *types.Named) {
+	var entries []*entry
+	var formatType *types.Named
+	for _, fd := range decls {
+		if fd.Body == nil || !returnsKernelSlice(pass, fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || !isKernelType(tv.Type) {
+				return true
+			}
+			e := &entry{lit: lit}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Name":
+					if b, ok := kv.Value.(*ast.BasicLit); ok {
+						e.name = strings.Trim(b.Value, `"`)
+						e.nameOK = e.name != ""
+					}
+					if !e.nameOK {
+						pass.Reportf(kv.Value.Pos(), "kernel name must be a non-empty string literal")
+					}
+				case "Format":
+					if tv, ok := pass.Info.Types[kv.Value]; ok && tv.Value != nil {
+						if c := constObj(pass, kv.Value); c != nil {
+							e.format = c
+							if named, ok := c.Type().(*types.Named); ok {
+								formatType = named
+							}
+						}
+					}
+					if e.format == nil {
+						pass.Reportf(kv.Value.Pos(), "kernel Format must be a declared format constant")
+					}
+				case "Strategies":
+					if tv, ok := pass.Info.Types[kv.Value]; ok && tv.Value != nil {
+						if v, ok := constant.Int64Val(tv.Value); ok && v != 0 {
+							e.strategies = true
+						}
+					} else {
+						e.strategies = true // non-constant: assume strategic
+					}
+				case "run":
+					e.runExpr = kv.Value
+				}
+			}
+			entries = append(entries, e)
+			return false
+		})
+	}
+	return entries, formatType
+}
+
+func returnsKernelSlice(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name]
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	sl, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return ok && isKernelType(sl.Elem())
+}
+
+func isKernelType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Kernel"
+}
+
+// constObj resolves the expression to the constant object it denotes.
+func constObj(pass *framework.Pass, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := pass.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pass.Info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+func checkNames(pass *framework.Pass, entries []*entry) {
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !e.nameOK {
+			continue
+		}
+		if seen[e.name] {
+			pass.Reportf(e.lit.Pos(), "duplicate kernel name %q in the registry", e.name)
+		}
+		seen[e.name] = true
+	}
+}
+
+// checkRunFields validates each entry's run field and the factories behind
+// call-form entries.
+func checkRunFields(pass *framework.Pass, decls map[string]*ast.FuncDecl, entries []*entry) {
+	checkedFactories := map[string]bool{}
+	for _, e := range entries {
+		if e.runExpr == nil {
+			pass.Reportf(e.lit.Pos(), "kernel %q has no run function", e.name)
+			continue
+		}
+		switch v := ast.Unparen(e.runExpr).(type) {
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "kernel %q run must be a top-level function, not a closure", e.name)
+		case *ast.CallExpr:
+			name, ok := topLevelFuncName(pass, v.Fun)
+			if !ok {
+				pass.Reportf(v.Pos(), "kernel %q run factory must be a top-level function call", e.name)
+				continue
+			}
+			if fd := decls[name]; fd != nil && !checkedFactories[name] {
+				checkedFactories[name] = true
+				checkFactory(pass, fd)
+			}
+		default:
+			if _, ok := topLevelFuncName(pass, e.runExpr); !ok {
+				pass.Reportf(e.runExpr.Pos(), "kernel %q run must be a top-level function or factory call", e.name)
+			}
+		}
+	}
+}
+
+// topLevelFuncName resolves an identifier or generic instantiation to a
+// package-scope function name.
+func topLevelFuncName(pass *framework.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.IndexExpr:
+		id, _ = e.X.(*ast.Ident)
+	case *ast.IndexListExpr:
+		id, _ = e.X.(*ast.Ident)
+	}
+	if id == nil {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	if fn.Pkg() != pass.Pkg || pass.Pkg.Scope().Lookup(fn.Name()) != fn {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkFactory validates one parallel-kernel factory: chunk funcvals bound
+// at the top of the factory (to top-level functions), a returned closure,
+// and a serial-cutoff branch inside that closure.
+func checkFactory(pass *framework.Pass, fd *ast.FuncDecl) {
+	var returned []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if lit, ok := res.(*ast.FuncLit); ok {
+					returned = append(returned, lit)
+				}
+			}
+		}
+		return true
+	})
+	if len(returned) == 0 {
+		pass.Reportf(fd.Pos(), "kernel factory %s must return its per-call closure", fd.Name.Name)
+		return
+	}
+
+	inReturned := func(pos ast.Node) *ast.FuncLit {
+		for _, lit := range returned {
+			if lit.Pos() <= pos.Pos() && pos.Pos() < lit.End() {
+				return lit
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isChunkConversion(pass, call) {
+			return true
+		}
+		if inReturned(call) != nil {
+			pass.Reportf(call.Pos(), "factory %s converts a chunk function inside the per-call closure; bind the funcval once in the factory body", fd.Name.Name)
+			return true
+		}
+		if _, ok := topLevelFuncName(pass, call.Args[0]); !ok {
+			pass.Reportf(call.Args[0].Pos(), "factory %s chunk must be a top-level function, not a closure or local value", fd.Name.Name)
+		}
+		return true
+	})
+
+	for _, lit := range returned {
+		if !mentionsSerial(lit.Body) {
+			pass.Reportf(lit.Pos(), "factory %s closure never checks the plan's Serial cutoff", fd.Name.Name)
+		}
+	}
+}
+
+// isChunkConversion reports a conversion to the package's chunk func type
+// (a defined type named rangeFn).
+func isChunkConversion(pass *framework.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 || !framework.IsTypeExpr(pass.Info, call.Fun) {
+		return false
+	}
+	t := pass.Info.Types[call.Fun].Type
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "rangeFn"
+}
+
+func mentionsSerial(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Serial" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// formatConstants returns the exported constants of the format type from its
+// defining package (which may be the analyzed package itself).
+func formatConstants(pass *framework.Pass, formatType *types.Named) []*types.Const {
+	scope := formatType.Obj().Pkg().Scope()
+	sameType := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == formatType.Obj()
+	}
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && c.Exported() && sameType(c.Type()) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func checkFormatCoverage(pass *framework.Pass, at *ast.FuncDecl, entries []*entry, consts []*types.Const) {
+	covered := map[string]bool{}
+	basic := map[string]bool{}
+	for _, e := range entries {
+		if e.format == nil {
+			continue
+		}
+		covered[e.format.Name()] = true
+		if !e.strategies {
+			basic[e.format.Name()] = true
+		}
+	}
+	for _, c := range consts {
+		if !covered[c.Name()] {
+			pass.Reportf(at.Pos(), "format %s has no registered kernel", c.Name())
+		} else if !basic[c.Name()] {
+			pass.Reportf(at.Pos(), "format %s has no basic (strategy-free) kernel to anchor the scoreboard", c.Name())
+		}
+	}
+}
+
+// checkPlanCoverage requires a newPlan function whose switch cases mention
+// every format constant.
+func checkPlanCoverage(pass *framework.Pass, decls map[string]*ast.FuncDecl, consts []*types.Const) {
+	np, ok := decls["newPlan"]
+	if !ok || np.Body == nil {
+		if ak := decls["allKernels"]; ak != nil {
+			pass.Reportf(ak.Pos(), "kernel package has no newPlan partitioner function")
+		}
+		return
+	}
+	cased := map[string]bool{}
+	ast.Inspect(np.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if c := constObj(pass, e); c != nil {
+				cased[c.Name()] = true
+			}
+		}
+		return true
+	})
+	for _, c := range consts {
+		if !cased[c.Name()] {
+			pass.Reportf(np.Pos(), "format %s has no partitioner case in newPlan", c.Name())
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package kernelreg
+
+import (
+	"testing"
+
+	"smat/internal/analysis/framework/analysistest"
+)
+
+func TestKernelReg(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/kr")
+}

@@ -1,0 +1,142 @@
+// Package kr is the kernelreg analyzer fixture: a miniature kernel registry
+// mirroring internal/kernels (Kernel entries, rangeFn chunk funcvals, a
+// newPlan partitioner) with deliberate registry violations.
+package kr
+
+// Format mirrors matrix.Format.
+type Format int
+
+const (
+	FormatCSR Format = iota
+	FormatCOO
+	FormatDIA
+	FormatELL
+	FormatHYB
+	numFormats // unexported: exempt from coverage
+)
+
+// Plan mirrors kernels.Plan; Serial is the small-matrix cutoff.
+type Plan struct {
+	Serial bool
+	Chunks int
+}
+
+type exec struct{ plan *Plan }
+
+type runFn func(ex exec)
+
+type rangeFn func(ex exec, lo, hi int)
+
+// Kernel mirrors kernels.Kernel.
+type Kernel struct {
+	Name       string
+	Format     Format
+	Strategies int
+	run        runFn
+}
+
+// --- chunk and serial bodies (top-level funcvals) -------------------------
+
+func csrSerial(ex exec)            {}
+func cooSerial(ex exec)            {}
+func ellSerial(ex exec)            {}
+func hybSerial(ex exec)            {}
+func csrChunk(ex exec, lo, hi int) {}
+func ellChunk(ex exec, lo, hi int) {}
+
+var ellVar runFn = ellSerial
+
+// --- factories ------------------------------------------------------------
+
+// goodFactory binds the chunk funcval once and honours the serial cutoff.
+func goodFactory() runFn {
+	chunk := rangeFn(csrChunk)
+	return func(ex exec) {
+		if ex.plan.Serial {
+			csrSerial(ex)
+			return
+		}
+		chunk(ex, 0, 1)
+	}
+}
+
+// badFactoryConvInClosure rebuilds the funcval on every call.
+func badFactoryConvInClosure() runFn {
+	return func(ex exec) {
+		if ex.plan.Serial {
+			ellSerial(ex)
+			return
+		}
+		chunk := rangeFn(ellChunk) // want `inside the per-call closure`
+		chunk(ex, 0, 1)
+	}
+}
+
+// badFactoryNoSerial fans out unconditionally.
+func badFactoryNoSerial() runFn {
+	chunk := rangeFn(ellChunk)
+	return func(ex exec) { // want `never checks the plan's Serial cutoff`
+		chunk(ex, 0, 1)
+	}
+}
+
+// badFactoryLocalChunk converts a closure instead of a top-level function.
+func badFactoryLocalChunk() runFn {
+	local := func(ex exec, lo, hi int) {}
+	chunk := rangeFn(local) // want `chunk must be a top-level function`
+	return func(ex exec) {
+		if ex.plan.Serial {
+			return
+		}
+		chunk(ex, 0, 1)
+	}
+}
+
+// badFactoryNoLit never returns a closure at all.
+func badFactoryNoLit() runFn { // want `must return its per-call closure`
+	return runFn(ellSerial)
+}
+
+// --- registry -------------------------------------------------------------
+
+func allKernels() []*Kernel { // want `format FormatDIA has no registered kernel` `format FormatHYB has no basic`
+	base := []*Kernel{
+		{Name: "csr-serial", Format: FormatCSR, run: csrSerial},
+		{Name: "csr-par", Format: FormatCSR, Strategies: 1, run: goodFactory()},
+		{Name: "csr-serial", Format: FormatCSR, run: csrSerial}, // want `duplicate kernel name`
+		{Name: "coo-serial", Format: FormatCOO, run: cooSerial},
+		{Name: "coo-norun", Format: FormatCOO},                                         // want `has no run function`
+		{Name: "coo-closure", Format: FormatCOO, Strategies: 1, run: func(ex exec) {}}, // want `not a closure`
+		{Name: "ell-serial", Format: FormatELL, run: ellSerial},
+		{Name: "ell-var", Format: FormatELL, Strategies: 1, run: ellVar}, // want `top-level function or factory call`
+		{Name: "ell-conv-in-closure", Format: FormatELL, Strategies: 2, run: badFactoryConvInClosure()},
+		{Name: "ell-no-serial", Format: FormatELL, Strategies: 4, run: badFactoryNoSerial()},
+		{Name: "ell-local-chunk", Format: FormatELL, Strategies: 8, run: badFactoryLocalChunk()},
+		{Name: "ell-no-lit", Format: FormatELL, Strategies: 16, run: badFactoryNoLit()},
+		{Name: "", Format: FormatCSR, run: csrSerial}, // want `non-empty string literal`
+	}
+	return append(base, hybKernels()...)
+}
+
+// hybKernels is a second provider; its entries are gathered too. HYB has
+// only a strategic kernel, so the basic-kernel check fires (at allKernels).
+func hybKernels() []*Kernel {
+	return []*Kernel{
+		{Name: "hyb-split", Format: FormatHYB, Strategies: 1, run: hybSerial},
+	}
+}
+
+// newPlan is the partitioner; FormatDIA has no case.
+func newPlan(f Format) *Plan { // want `format FormatDIA has no partitioner case`
+	switch f {
+	case FormatCSR, FormatCOO:
+		return &Plan{Chunks: 4}
+	case FormatELL:
+		return &Plan{Chunks: 2}
+	case FormatHYB:
+		return &Plan{Chunks: 8}
+	}
+	return &Plan{Serial: true}
+}
+
+var _ = numFormats

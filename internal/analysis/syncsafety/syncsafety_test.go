@@ -1,0 +1,11 @@
+package syncsafety
+
+import (
+	"testing"
+
+	"smat/internal/analysis/framework/analysistest"
+)
+
+func TestSyncSafety(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/ss")
+}

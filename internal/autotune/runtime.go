@@ -65,6 +65,8 @@ type Operator[T matrix.Float] struct {
 // MulVec computes y = A·x on the steady-state execution path: the work
 // partition comes from the matrix's cached plan and parallel chunks run on
 // the tuner's persistent worker pool, so repeated calls allocate nothing.
+//
+//smat:hotpath
 func (o *Operator[T]) MulVec(x, y []T) { o.kernel.RunPooled(o.mat, x, y, o.pool) }
 
 // Format returns the storage format the tuner chose.

@@ -29,13 +29,13 @@ type CacheBenchResult struct {
 
 // CacheBenchRow is one matrix's cold-vs-cached comparison.
 type CacheBenchRow struct {
-	Number     int
-	Name       string
-	Chosen     matrix.Format
-	Fallback   bool // cold decision took the execute-and-measure path
-	ColdSec    float64
-	MeasureSec float64 // cold Tune with the fallback forced (threshold 0.999)
-	HitSec     float64
+	Number          int
+	Name            string
+	Chosen          matrix.Format
+	Fallback        bool // cold decision took the execute-and-measure path
+	ColdSec         float64
+	MeasureSec      float64 // cold Tune with the fallback forced (threshold 0.999)
+	HitSec          float64
 	Speedup         float64
 	SpeedupMeasured float64
 }

@@ -77,11 +77,11 @@ func (f *Features) String() string {
 // sentinel for "not scale-free". Key is comparable and is the map key of the
 // runtime decision cache.
 type Key struct {
-	M, N, NNZ            uint8
-	AverRD, MaxRD, VarRD uint8
-	Ndiags               uint8
+	M, N, NNZ             uint8
+	AverRD, MaxRD, VarRD  uint8
+	Ndiags                uint8
 	NTdiags, ERDIA, ERELL uint8
-	R                    int16
+	R                     int16
 }
 
 // qlog buckets a non-negative magnitude on a quarter-log2 scale.

@@ -7,12 +7,21 @@ import "smat/internal/matrix"
 // bodies for the common square blocks (the scalar analogue of OSKI's
 // register-blocked code variants).
 
-// bcsrGenericRange computes block rows [lo, hi).
+// bcsrGenericRange computes block rows [lo, hi). It accumulates straight
+// into y (zeroing the block row's segment first) so the body stays
+// allocation-free; rows past Rows in the last ragged block are skipped.
+//
+//smat:hotpath
 func bcsrGenericRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 	br, bc := m.BR, m.BC
-	sums := make([]T, br)
 	for bi := lo; bi < hi; bi++ {
-		clear(sums)
+		baseRow := bi * br
+		height := br
+		if baseRow+height > m.Rows {
+			height = m.Rows - baseRow
+		}
+		ySeg := y[baseRow : baseRow+height]
+		clear(ySeg)
 		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
 			baseCol := m.ColIdx[s] * bc
 			blk := m.Blocks[s*br*bc : (s+1)*br*bc]
@@ -22,25 +31,21 @@ func bcsrGenericRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 			if baseCol+width > m.Cols {
 				width = m.Cols - baseCol
 			}
-			for lr := 0; lr < br; lr++ {
+			for lr := 0; lr < height; lr++ {
 				var sum T
 				row := blk[lr*bc:]
 				for lc := 0; lc < width; lc++ {
 					sum += row[lc] * x[baseCol+lc]
 				}
-				sums[lr] += sum
+				ySeg[lr] += sum
 			}
 		}
-		baseRow := bi * br
-		height := br
-		if baseRow+height > m.Rows {
-			height = m.Rows - baseRow
-		}
-		copy(y[baseRow:baseRow+height], sums[:height])
 	}
 }
 
 // bcsr2x2Range is the fully unrolled 2×2 body.
+//
+//smat:hotpath
 func bcsr2x2Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 	for bi := lo; bi < hi; bi++ {
 		var s0, s1 T
@@ -67,6 +72,8 @@ func bcsr2x2Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 
 // bcsr4x4Range is the fully unrolled 4×4 body for interior block columns,
 // falling back to bounded loops on the (single) ragged edge block.
+//
+//smat:hotpath
 func bcsr4x4Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 	for bi := lo; bi < hi; bi++ {
 		var s0, s1, s2, s3 T
@@ -98,6 +105,8 @@ func bcsr4x4Range[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 }
 
 // bcsrDispatchRange picks the specialised body when one exists.
+//
+//smat:hotpath
 func bcsrDispatchRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) {
 	switch {
 	case m.BR == 2 && m.BC == 2:
@@ -109,18 +118,22 @@ func bcsrDispatchRange[T matrix.Float](m *matrix.BCSR[T], x, y []T, lo, hi int) 
 	}
 }
 
+//smat:hotpath
 func runBCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	bcsrGenericRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
 }
 
+//smat:hotpath
 func runBCSRBlockSpec[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	bcsrDispatchRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
 }
 
+//smat:hotpath
 func bcsrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	bcsrDispatchRange(m.BCSR, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runBCSRBlockSpecParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](bcsrChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

@@ -4,6 +4,8 @@ import "smat/internal/matrix"
 
 // cooRange accumulates entries [lo, hi) into y: the paper's Figure 2(b) loop.
 // Callers must have zeroed the affected rows of y.
+//
+//smat:hotpath
 func cooRange[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
 	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
 	for i := lo; i < hi; i++ {
@@ -15,6 +17,8 @@ func cooRange[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
 // consecutive entries may hit the same y element; the unrolled body keeps the
 // read-modify-write order per element by accumulating through memory exactly
 // as the scalar loop does (only the index arithmetic is unrolled).
+//
+//smat:hotpath
 func cooRangeUnroll4[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
 	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
 	i := lo
@@ -29,11 +33,13 @@ func cooRangeUnroll4[T matrix.Float](m *matrix.COO[T], x, y []T, lo, hi int) {
 	}
 }
 
+//smat:hotpath
 func runCOOBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	clear(y)
 	cooRange(m.COO, x, y, 0, m.COO.NNZ())
 }
 
+//smat:hotpath
 func runCOOUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	clear(y)
 	cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
@@ -71,6 +77,8 @@ func cooBounds[T matrix.Float](m *matrix.COO[T], threads int) []int {
 // chunk before it, so chunk-local clears cover each row of y exactly once —
 // this replaces the serial O(rows) clear(y) that used to precede every
 // parallel COO SpMV.
+//
+//smat:hotpath
 func cooChunkRows[T matrix.Float](c *matrix.COO[T], lo, hi int) (rLo, rHi int) {
 	rLo = 0
 	if lo > 0 {
@@ -83,18 +91,21 @@ func cooChunkRows[T matrix.Float](c *matrix.COO[T], lo, hi int) (rLo, rHi int) {
 	return rLo, rHi
 }
 
+//smat:hotpath
 func cooChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	rLo, rHi := cooChunkRows(m.COO, lo, hi)
 	clear(y[rLo:rHi])
 	cooRange(m.COO, x, y, lo, hi)
 }
 
+//smat:hotpath
 func cooChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	rLo, rHi := cooChunkRows(m.COO, lo, hi)
 	clear(y[rLo:rHi])
 	cooRangeUnroll4(m.COO, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runCOOParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](cooChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -107,6 +118,7 @@ func runCOOParallel[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runCOOParallelUnroll4[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](cooChunkUnroll4[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

@@ -3,6 +3,8 @@ package kernels
 import "smat/internal/matrix"
 
 // csrRowRange computes y for rows [lo, hi): the paper's Figure 2(a) loop.
+//
+//smat:hotpath
 func csrRowRange[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
 	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
 	for i := lo; i < hi; i++ {
@@ -16,6 +18,8 @@ func csrRowRange[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
 
 // csrRowRangeUnroll4 is csrRowRange with the inner product unrolled by four,
 // accumulating into independent partial sums to break the dependence chain.
+//
+//smat:hotpath
 func csrRowRangeUnroll4[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
 	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
 	for i := lo; i < hi; i++ {
@@ -37,22 +41,28 @@ func csrRowRangeUnroll4[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) 
 
 // csrChunk / csrChunkUnroll4 adapt the row loops to the engine's chunk
 // signature (top-level functions so pool dispatch never allocates).
+//
+//smat:hotpath
 func csrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	csrRowRange(m.CSR, x, y, lo, hi)
 }
 
+//smat:hotpath
 func csrChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
 }
 
+//smat:hotpath
 func runCSRBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
 }
 
+//smat:hotpath
 func runCSRUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
 }
 
+//smat:hotpath-factory
 func runCSRParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](csrChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -64,6 +74,7 @@ func runCSRParallel[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runCSRParallelUnroll4[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](csrChunkUnroll4[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -75,6 +86,7 @@ func runCSRParallelUnroll4[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runCSRParallelNNZ[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](csrChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -86,6 +98,7 @@ func runCSRParallelNNZ[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runCSRParallelNNZUnroll4[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](csrChunkUnroll4[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

@@ -4,6 +4,8 @@ import "smat/internal/matrix"
 
 // runDIABasic is the paper's Figure 2(c) loop: diagonal-major traversal with
 // contiguous x reads, accumulating into y once per diagonal.
+//
+//smat:hotpath
 func runDIABasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	d := m.DIA
 	clear(y)
@@ -19,6 +21,8 @@ func runDIABasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 // runDIAUnroll4 unrolls the per-diagonal loop by four.
+//
+//smat:hotpath
 func runDIAUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	d := m.DIA
 	clear(y)
@@ -43,6 +47,8 @@ func runDIAUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 // diaRowRange computes rows [lo, hi) with a row-major traversal: each y
 // element is written exactly once (the paper's note that diagonal-order loops
 // re-write Y per diagonal motivates this variant).
+//
+//smat:hotpath
 func diaRowRange[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		var sum T
@@ -57,6 +63,8 @@ func diaRowRange[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
 }
 
 // diaRowRangeUnroll4 unrolls the diagonal loop by four within each row.
+//
+//smat:hotpath
 func diaRowRangeUnroll4[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
 	nd := len(d.Offsets)
 	for r := lo; r < hi; r++ {
@@ -85,18 +93,22 @@ func diaRowRangeUnroll4[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) 
 	}
 }
 
+//smat:hotpath
 func runDIARowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	diaRowRange(m.DIA, x, y, 0, m.DIA.Rows)
 }
 
+//smat:hotpath
 func diaChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	diaRowRange(m.DIA, x, y, lo, hi)
 }
 
+//smat:hotpath
 func diaChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	diaRowRangeUnroll4(m.DIA, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runDIAParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](diaChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -108,6 +120,7 @@ func runDIAParallel[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runDIAParallelUnroll4[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](diaChunkUnroll4[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

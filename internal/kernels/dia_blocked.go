@@ -11,6 +11,8 @@ const diaBlockSize = 2048
 // tiled over rows: within a tile, y is re-read from cache instead of memory,
 // removing the paper's "Y written once per diagonal" penalty while keeping
 // DIA's contiguous x access.
+//
+//smat:hotpath
 func diaBlockedRange[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
 	for rb := lo; rb < hi; rb += diaBlockSize {
 		re := rb + diaBlockSize
@@ -38,14 +40,17 @@ func diaBlockedRange[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
 	}
 }
 
+//smat:hotpath
 func runDIABlocked[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	diaBlockedRange(m.DIA, x, y, 0, m.DIA.Rows)
 }
 
+//smat:hotpath
 func diaBlockedChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	diaBlockedRange(m.DIA, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runDIABlockedParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](diaBlockedChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

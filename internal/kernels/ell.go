@@ -5,6 +5,8 @@ import "smat/internal/matrix"
 // runELLBasic is the paper's Figure 2(d) loop: column(slot)-major traversal
 // of the packed dense matrix. Padding slots carry value 0 and contribute
 // nothing.
+//
+//smat:hotpath
 func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	e := m.ELL
 	clear(y)
@@ -18,6 +20,8 @@ func runELLBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 // runELLUnroll4 unrolls the slot-major row loop by four.
+//
+//smat:hotpath
 func runELLUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	e := m.ELL
 	clear(y)
@@ -39,6 +43,8 @@ func runELLUnroll4[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 
 // ellRowRange computes rows [lo, hi) row-major: one pass over each row's
 // slots, writing y once per row.
+//
+//smat:hotpath
 func ellRowRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		var sum T
@@ -50,6 +56,8 @@ func ellRowRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 }
 
 // ellRowRangeUnroll4 unrolls the slot loop by four within each row.
+//
+//smat:hotpath
 func ellRowRangeUnroll4[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 	w, rows := e.Width, e.Rows
 	for r := lo; r < hi; r++ {
@@ -68,18 +76,22 @@ func ellRowRangeUnroll4[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) 
 	}
 }
 
+//smat:hotpath
 func runELLRowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	ellRowRange(m.ELL, x, y, 0, m.ELL.Rows)
 }
 
+//smat:hotpath
 func ellChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	ellRowRange(m.ELL, x, y, lo, hi)
 }
 
+//smat:hotpath
 func ellChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	ellRowRangeUnroll4(m.ELL, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runELLParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](ellChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {
@@ -91,6 +103,7 @@ func runELLParallel[T matrix.Float]() runFn[T] {
 	}
 }
 
+//smat:hotpath-factory
 func runELLParallelUnroll4[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](ellChunkUnroll4[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

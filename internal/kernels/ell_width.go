@@ -8,6 +8,8 @@ import "smat/internal/matrix"
 // loop — the scalar-code analogue of the vectorisation that makes ELL
 // attractive on SIMD hardware. Wider matrices fall back to the row-major
 // loop.
+//
+//smat:hotpath
 func ellWidthRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 	rows := e.Rows
 	switch e.Width {
@@ -44,14 +46,17 @@ func ellWidthRange[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
 	}
 }
 
+//smat:hotpath
 func runELLWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	ellWidthRange(m.ELL, x, y, 0, m.ELL.Rows)
 }
 
+//smat:hotpath
 func ellWidthChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	ellWidthRange(m.ELL, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runELLWidthParallel[T matrix.Float]() runFn[T] {
 	chunk := rangeFn[T](ellWidthChunk[T])
 	return func(m *Mat[T], x, y []T, ex exec[T]) {

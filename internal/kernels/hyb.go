@@ -8,6 +8,7 @@ import "smat/internal/matrix"
 // the scoreboard search tunes HYB without further changes — the paper's
 // extensibility claim in action.
 
+//smat:hotpath
 func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	h := m.HYB
 	clear(y)
@@ -22,20 +23,24 @@ func runHYBBasic[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	cooRange(h.COO, x, y, 0, h.COO.NNZ())
 }
 
+//smat:hotpath
 func runHYBWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 	h := m.HYB
 	ellWidthRange(h.ELL, x, y, 0, h.ELL.Rows)
 	cooRange(h.COO, x, y, 0, h.COO.NNZ())
 }
 
+//smat:hotpath
 func hybELLChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	ellWidthRange(m.HYB.ELL, x, y, lo, hi)
 }
 
+//smat:hotpath
 func hybCOOChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
 	cooRange(m.HYB.COO, x, y, lo, hi)
 }
 
+//smat:hotpath-factory
 func runHYBWidthParallel[T matrix.Float]() runFn[T] {
 	ellChunk := rangeFn[T](hybELLChunk[T])
 	cooChunk := rangeFn[T](hybCOOChunk[T])

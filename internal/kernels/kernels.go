@@ -180,6 +180,8 @@ type rangeFn[T matrix.Float] func(m *Mat[T], x, y []T, lo, hi int)
 // [bounds[t], bounds[t+1]). A single chunk runs inline; more fan out through
 // the persistent pool when one is attached and free, or per-call goroutines
 // otherwise.
+//
+//smat:hotpath
 func (ex exec[T]) dispatch(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
 	nchunks := len(bounds) - 1
 	if nchunks < 1 {
@@ -195,13 +197,26 @@ func (ex exec[T]) dispatch(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
 	spawnChunks(bounds, fn, m, x, y)
 }
 
+// formatMismatch reports a kernel applied to the wrong format. The message
+// formatting lives out of line — and is kept there with go:noinline — so the
+// hot Run/RunPooled bodies stay allocation-free on the match path and the
+// escape-analysis gate doesn't see the panic path's Sprintf inlined into
+// them.
+//
+//go:noinline
+func formatMismatch[T matrix.Float](k *Kernel[T], m *Mat[T]) {
+	panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
+}
+
 // Run computes y = A·x (y is fully overwritten). threads ≤ 0 selects
 // GOMAXPROCS. Partitioning comes from the matrix's cached plan; parallel
 // chunks execute on freshly spawned goroutines. Steady-state callers should
 // prefer RunPooled, which reuses long-lived workers.
+//
+//smat:hotpath
 func (k *Kernel[T]) Run(m *Mat[T], x, y []T, threads int) {
 	if m.Format != k.Format {
-		panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
+		formatMismatch(k, m)
 	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -213,13 +228,15 @@ func (k *Kernel[T]) Run(m *Mat[T], x, y []T, threads int) {
 // was resolved once when the pool was built, the partition comes from the
 // matrix's cached plan, and the dispatch allocates nothing — the steady-
 // state SpMV path. A nil pool degrades to Run with default threads.
+//
+//smat:hotpath
 func (k *Kernel[T]) RunPooled(m *Mat[T], x, y []T, p *Pool[T]) {
 	if p == nil {
 		k.Run(m, x, y, 0)
 		return
 	}
 	if m.Format != k.Format {
-		panic(fmt.Sprintf("kernels: %s kernel %q applied to %s matrix", k.Format, k.Name, m.Format))
+		formatMismatch(k, m)
 	}
 	k.run(m, x, y, exec[T]{plan: m.PlanFor(p.s.threads), pool: p})
 }

@@ -41,6 +41,8 @@ type Plan struct {
 // cache holds one plan — steady state runs one thread count per matrix — and
 // is safe for concurrent use: racing computations produce identical plans
 // and the last writer simply overwrites.
+//
+//smat:hotpath
 func (m *Mat[T]) PlanFor(threads int) *Plan {
 	if threads < 1 {
 		threads = 1

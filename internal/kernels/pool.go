@@ -122,6 +122,8 @@ func (s *poolState[T]) start() {
 // worker to finish releases the dispatcher's barrier. The field reads are
 // ordered by the wake send (before) and the pending decrement (after), so
 // the dispatcher never reuses the slots while a worker still reads them.
+//
+//smat:hotpath
 func (s *poolState[T]) worker(i int) {
 	for {
 		select {
