@@ -66,8 +66,26 @@ type Operator[T matrix.Float] struct {
 // partition comes from the matrix's cached plan and parallel chunks run on
 // the tuner's persistent worker pool, so repeated calls allocate nothing.
 //
+// x and y must not share memory: every kernel clears y and then accumulates
+// reads of x, so an aliased pair would silently corrupt the product. MulVec
+// panics when the slices overlap (the error-returning entry point is
+// Tuner.CSRSpMV in the root package).
+//
 //smat:hotpath
-func (o *Operator[T]) MulVec(x, y []T) { o.kernel.RunPooled(o.mat, x, y, o.pool) }
+func (o *Operator[T]) MulVec(x, y []T) {
+	if matrix.SlicesOverlap(x, y) {
+		aliasedVectors()
+	}
+	o.kernel.RunPooled(o.mat, x, y, o.pool)
+}
+
+// aliasedVectors reports an overlapping x/y pair. Outlined and kept out of
+// line so the MulVec hot path stays free of the panic's interface boxing.
+//
+//go:noinline
+func aliasedVectors() {
+	panic("autotune: MulVec called with x and y sharing memory; SpMV reads x while writing y")
+}
 
 // Format returns the storage format the tuner chose.
 func (o *Operator[T]) Format() matrix.Format { return o.mat.Format }

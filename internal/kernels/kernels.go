@@ -115,6 +115,49 @@ func (m *Mat[T]) Dims() (rows, cols int) {
 	panic("kernels: invalid format")
 }
 
+// Validate checks the structural invariants of the representation named by
+// Format, delegating to the format's own Validate. It is the hook the
+// differential oracle (internal/oracle) uses to check every conversion it
+// exercises.
+func (m *Mat[T]) Validate() error {
+	switch m.Format {
+	case matrix.FormatCSR:
+		return m.CSR.Validate()
+	case matrix.FormatCOO:
+		return m.COO.Validate()
+	case matrix.FormatDIA:
+		return m.DIA.Validate()
+	case matrix.FormatELL:
+		return m.ELL.Validate()
+	case matrix.FormatHYB:
+		return m.HYB.Validate()
+	case matrix.FormatBCSR:
+		return m.BCSR.Validate()
+	}
+	return fmt.Errorf("kernels: invalid format %v", m.Format)
+}
+
+// ToCSR converts the held representation back to CSR, the round-trip leg of
+// the oracle's conversion checks. The CSR case returns the receiver's matrix
+// unchanged.
+func (m *Mat[T]) ToCSR() *matrix.CSR[T] {
+	switch m.Format {
+	case matrix.FormatCSR:
+		return m.CSR
+	case matrix.FormatCOO:
+		return m.COO.ToCSR()
+	case matrix.FormatDIA:
+		return m.DIA.ToCSR()
+	case matrix.FormatELL:
+		return m.ELL.ToCSR()
+	case matrix.FormatHYB:
+		return m.HYB.ToCSR()
+	case matrix.FormatBCSR:
+		return m.BCSR.ToCSR()
+	}
+	panic("kernels: invalid format")
+}
+
 // Convert materialises a CSR matrix in the requested format. maxFill bounds
 // DIA/ELL zero-fill as a multiple of NNZ (≤0: unlimited); conversion to an
 // unsuitable format returns matrix.ErrFillExplosion.

@@ -22,8 +22,11 @@ type Triple[T Float] struct {
 
 // FromTriples builds a CSR matrix from unordered triples. Duplicate (row,
 // col) entries are summed; explicit zeros (including entries that cancel) are
-// dropped. Out-of-range entries are an error.
+// dropped. Out-of-range entries and negative dimensions are an error.
 func FromTriples[T Float](rows, cols int, ts []Triple[T]) (*CSR[T], error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative dimensions %dx%d", rows, cols)
+	}
 	for _, t := range ts {
 		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
 			return nil, fmt.Errorf("matrix: triple (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
@@ -76,8 +79,28 @@ func (m *CSR[T]) ToCOO() *COO[T] {
 	return out
 }
 
-// ToCSR converts sorted COO back to CSR.
+// ToCSR converts COO back to CSR. Entries already sorted by (row, col) with
+// no duplicates — the representation's documented invariant — convert with a
+// direct copy that preserves every stored value, explicit zeros included.
+// Entries violating the invariant used to be converted anyway, with RowPtr
+// built by counting while ColIdx/Vals kept input order: values silently
+// attached to the wrong rows. Unsorted or duplicate-carrying input is now
+// canonicalised first (sorted by (row, col), duplicates summed, zero sums
+// dropped — FromTriples semantics). Entries outside the matrix panic, as
+// every conversion of an invalid representation does; run Validate first on
+// untrusted input.
 func (m *COO[T]) ToCSR() *CSR[T] {
+	if !m.canonical() {
+		ts := make([]Triple[T], len(m.Vals))
+		for k := range m.Vals {
+			ts[k] = Triple[T]{Row: m.RowIdx[k], Col: m.ColIdx[k], Val: m.Vals[k]}
+		}
+		out, err := FromTriples(m.Rows, m.Cols, ts)
+		if err != nil {
+			panic(fmt.Sprintf("matrix: COO.ToCSR on invalid representation: %v", err))
+		}
+		return out
+	}
 	out := &CSR[T]{
 		Rows:   m.Rows,
 		Cols:   m.Cols,
@@ -92,6 +115,19 @@ func (m *COO[T]) ToCSR() *CSR[T] {
 		out.RowPtr[r+1] += out.RowPtr[r]
 	}
 	return out
+}
+
+// canonical reports whether the entries are sorted by (row, col) with no
+// duplicate coordinates — the precondition of the direct COO→CSR copy.
+func (m *COO[T]) canonical() bool {
+	for k := 1; k < len(m.RowIdx); k++ {
+		r, c := m.RowIdx[k], m.ColIdx[k]
+		pr, pc := m.RowIdx[k-1], m.ColIdx[k-1]
+		if r < pr || (r == pr && c <= pc) {
+			return false
+		}
+	}
+	return true
 }
 
 // DiagCount returns the number of distinct occupied diagonals and, for

@@ -215,3 +215,94 @@ func TestDenseRoundTrip(t *testing.T) {
 		t.Error("dense round trip mismatch")
 	}
 }
+
+// TestCOOToCSRUnsortedInput is the regression test for the silent-corruption
+// bug where ToCSR built RowPtr by counting but copied ColIdx/Vals in input
+// order: on COO not sorted by row, values attached to the wrong rows while
+// the result still looked structurally plausible.
+func TestCOOToCSRUnsortedInput(t *testing.T) {
+	// Entries deliberately out of row order (and out of column order within
+	// row 0).
+	c := &COO[float64]{
+		Rows:   3,
+		Cols:   3,
+		RowIdx: []int{2, 0, 1, 0},
+		ColIdx: []int{1, 2, 0, 0},
+		Vals:   []float64{5, 7, 11, 13},
+	}
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("ToCSR on unsorted COO produced invalid CSR: %v", err)
+	}
+	want := map[[2]int]float64{{2, 1}: 5, {0, 2}: 7, {1, 0}: 11, {0, 0}: 13}
+	for pos, v := range want {
+		if got := m.At(pos[0], pos[1]); got != v {
+			t.Errorf("At(%d,%d) = %g, want %g", pos[0], pos[1], got, v)
+		}
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", m.NNZ())
+	}
+}
+
+// TestCOOToCSRDuplicatesSummed: duplicate coordinates in non-canonical COO
+// are summed (and dropped when they cancel), matching FromTriples.
+func TestCOOToCSRDuplicatesSummed(t *testing.T) {
+	c := &COO[float64]{
+		Rows:   2,
+		Cols:   2,
+		RowIdx: []int{1, 0, 1, 0},
+		ColIdx: []int{1, 0, 1, 0},
+		Vals:   []float64{2, 3, 4, -3},
+	}
+	m := c.ToCSR()
+	if got := m.At(1, 1); got != 6 {
+		t.Errorf("duplicate sum At(1,1) = %g, want 6", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (cancelling pair dropped)", m.NNZ())
+	}
+}
+
+// TestCOOToCSRSortedFastPathPreservesZeros: canonical input converts by
+// direct copy, keeping explicit zeros and round-tripping exactly.
+func TestCOOToCSRSortedFastPathPreservesZeros(t *testing.T) {
+	c := &COO[float64]{
+		Rows:   2,
+		Cols:   3,
+		RowIdx: []int{0, 0, 1},
+		ColIdx: []int{0, 2, 1},
+		Vals:   []float64{1, 0, 4}, // explicit zero survives the fast path
+	}
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+	back := m.ToCOO()
+	if back.Validate() != nil || len(back.Vals) != 3 {
+		t.Errorf("round trip lost entries: %+v", back)
+	}
+}
+
+// TestFromTriplesNegativeDims is the regression test for the construction
+// panic: make([]int, rows+1) on rows < -1 panicked, and rows == -1 silently
+// returned a structurally invalid matrix.
+func TestFromTriplesNegativeDims(t *testing.T) {
+	for _, dims := range [][2]int{{-1, 4}, {-2, 4}, {4, -1}, {-3, -3}} {
+		m, err := FromTriples[float64](dims[0], dims[1], nil)
+		if err == nil {
+			t.Errorf("FromTriples(%d, %d) accepted negative dimensions: %+v", dims[0], dims[1], m)
+		}
+	}
+	// Zero-sized dimensions remain valid.
+	m, err := FromTriples[float64](0, 5, nil)
+	if err != nil {
+		t.Fatalf("FromTriples(0, 5) = %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

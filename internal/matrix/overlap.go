@@ -1,0 +1,22 @@
+package matrix
+
+import "unsafe"
+
+// SlicesOverlap reports whether two slices share any backing memory. SpMV
+// kernels clear y and then accumulate reads of x, so an aliased or
+// overlapping x/y pair silently corrupts the result: the guard exists so the
+// public entry points can reject the call instead. Zero-length slices never
+// overlap.
+//
+// The comparison is on the numeric addresses of the first and last elements;
+// both slices are live across the comparison, so the addresses are stable.
+func SlicesOverlap[T Float](x, y []T) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	xLo := uintptr(unsafe.Pointer(&x[0]))
+	yLo := uintptr(unsafe.Pointer(&y[0]))
+	xHi := uintptr(unsafe.Pointer(&x[len(x)-1]))
+	yHi := uintptr(unsafe.Pointer(&y[len(y)-1]))
+	return xLo <= yHi && yLo <= xHi
+}

@@ -1,0 +1,43 @@
+package matrix
+
+import "testing"
+
+func TestSlicesOverlap(t *testing.T) {
+	buf := make([]float64, 10)
+	other := make([]float64, 10)
+	cases := []struct {
+		name string
+		x, y []float64
+		want bool
+	}{
+		{"identical", buf, buf, true},
+		{"distinct", buf, other, false},
+		{"x-nil", nil, buf, false},
+		{"y-nil", buf, nil, false},
+		{"both-empty", buf[:0], buf[:0], false},
+		{"empty-vs-full", buf[:0], buf, false},
+		{"disjoint-halves", buf[:5], buf[5:], false},
+		{"overlapping-middle", buf[:6], buf[4:], true},
+		{"one-element-shared", buf[:5], buf[4:5], true},
+		{"nested", buf, buf[3:7], true},
+		{"adjacent-single", buf[4:5], buf[5:6], false},
+	}
+	for _, c := range cases {
+		if got := SlicesOverlap(c.x, c.y); got != c.want {
+			t.Errorf("%s: SlicesOverlap = %v, want %v", c.name, got, c.want)
+		}
+		if got := SlicesOverlap(c.y, c.x); got != c.want {
+			t.Errorf("%s (swapped): SlicesOverlap = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSlicesOverlapFloat32(t *testing.T) {
+	buf := make([]float32, 8)
+	if !SlicesOverlap(buf[:5], buf[3:]) {
+		t.Error("overlapping float32 slices not detected")
+	}
+	if SlicesOverlap(buf[:4], buf[4:]) {
+		t.Error("disjoint float32 halves reported overlapping")
+	}
+}

@@ -17,7 +17,21 @@ import (
 	"smat/internal/matrix"
 )
 
-// Read parses a Matrix Market coordinate stream into CSR.
+// MaxDim is the largest row or column count Read accepts from a size line.
+// The CSR row pointer alone costs 8·rows bytes, so an attacker-controlled
+// header would otherwise turn one short stream into an arbitrarily large
+// allocation; 2^27 (~134M, a 1GiB row pointer) is past every matrix in the
+// UF collection while keeping the worst case bounded.
+const MaxDim = 1 << 27
+
+// maxNNZPrealloc caps how much the declared nonzero count is trusted as a
+// pre-allocation hint (~24MiB of triples); beyond it the slice grows against
+// the actual input.
+const maxNNZPrealloc = 1 << 20
+
+// Read parses a Matrix Market coordinate stream into CSR. Size-line values
+// are treated as untrusted: dimensions above MaxDim are rejected and the
+// declared nonzero count never drives more than a bounded pre-allocation.
 func Read(r io.Reader) (*matrix.CSR[float64], error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -65,8 +79,19 @@ func Read(r io.Reader) (*matrix.CSR[float64], error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("mmio: negative sizes %d %d %d", rows, cols, nnz)
 	}
+	if rows > MaxDim || cols > MaxDim {
+		return nil, fmt.Errorf("mmio: dimensions %dx%d exceed the %d limit", rows, cols, MaxDim)
+	}
 
-	ts := make([]matrix.Triple[float64], 0, nnz)
+	// The size line is untrusted input: a crafted header like
+	// "1 1 9000000000000" must not drive a multi-terabyte pre-allocation.
+	// The declared nnz is only a capacity hint, clamped so memory grows with
+	// the entries actually present in the stream.
+	capHint := nnz
+	if capHint > maxNNZPrealloc {
+		capHint = maxNNZPrealloc
+	}
+	ts := make([]matrix.Triple[float64], 0, capHint)
 	read := 0
 	for read < nnz {
 		if !sc.Scan() {

@@ -1,0 +1,44 @@
+package oracle
+
+import "smat/internal/matrix"
+
+// decode limits: fuzz-built specs stay small enough that one differential
+// check is fast (the fuzzer's throughput is mutations per second, not
+// matrix size), while still reaching every boundary class the handwritten
+// specs cover — empty dimensions, out-of-band duplicates, ragged rows.
+const (
+	decodeMaxDim = 48
+	decodeMaxNNZ = 192
+)
+
+// DecodeSpec maps arbitrary fuzzer bytes onto a bounded Spec. Every input
+// decodes to something (an empty input is the 0x0 matrix); coordinates are
+// reduced into range rather than rejected, so the fuzzer spends its budget
+// on structure, not on guessing valid encodings. The decode is total and
+// deterministic: a crashing input reproduces from its corpus file alone.
+func DecodeSpec(data []byte) *Spec {
+	s := &Spec{Name: "fuzz"}
+	if len(data) == 0 {
+		return s
+	}
+	s.Rows = int(data[0]) % (decodeMaxDim + 1)
+	data = data[1:]
+	if len(data) == 0 {
+		return s
+	}
+	s.Cols = int(data[0]) % (decodeMaxDim + 1)
+	data = data[1:]
+
+	if s.Rows == 0 || s.Cols == 0 {
+		return s
+	}
+	for len(data) >= 3 && len(s.Triples) < decodeMaxNNZ {
+		s.Triples = append(s.Triples, matrix.Triple[float64]{
+			Row: int(data[0]) % s.Rows,
+			Col: int(data[1]) % s.Cols,
+			Val: val(int(int8(data[2]))),
+		})
+		data = data[3:]
+	}
+	return s
+}

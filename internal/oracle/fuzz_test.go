@@ -1,0 +1,36 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// FuzzSpMVDifferential decodes arbitrary bytes into a bounded sparse
+// structure and runs the full differential oracle over it at both element
+// types: every registered kernel in every convertible format must match the
+// float64 reference, every conversion must validate and round-trip, and
+// parallel execution must agree with serial bit for bit.
+func FuzzSpMVDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 9})
+	f.Add([]byte{9, 0})
+	f.Add([]byte{1, 1, 0, 0, 20})
+	// A ragged 16x16 with duplicates (same (row,col) repeated with values
+	// that sum and with values that cancel).
+	f.Add([]byte{16, 16, 3, 4, 12, 3, 4, 12, 5, 5, 30, 5, 5, 90, 0, 15, 1, 15, 0, 2})
+	// Diagonal-ish band on a 32x24 rectangle.
+	f.Add([]byte{32, 24, 0, 0, 10, 1, 1, 11, 2, 2, 12, 3, 3, 13, 4, 4, 14, 31, 23, 15})
+
+	lib64 := fullLibrary[float64]()
+	lib32 := fullLibrary[float32]()
+	opt := Options{Threads: []int{1, 3}}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := DecodeSpec(data)
+		if _, err := Check(lib64, s, opt); err != nil {
+			t.Fatalf("float64: %v", err)
+		}
+		if _, err := Check(lib32, s, opt); err != nil {
+			t.Fatalf("float32: %v", err)
+		}
+	})
+}

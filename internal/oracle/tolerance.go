@@ -1,0 +1,25 @@
+package oracle
+
+import "math"
+
+// epsOf returns the unit roundoff of the element type: 2⁻²³ for float32,
+// 2⁻⁵² for float64. The oracle's per-row error bound scales in this unit,
+// which is what "within per-type ULP tolerance" means concretely.
+func epsOf[T ~float32 | ~float64]() float64 {
+	var t T
+	if _, ok := any(t).(float32); ok {
+		return 0x1p-23
+	}
+	return 0x1p-52
+}
+
+// rowTolerance bounds how far a kernel's y[r] may drift from the float64
+// reference want. Each of the deg products contributes at most one rounding
+// in T, accumulation order contributes up to deg more, and conversion of
+// the reference itself one: the classical bound is eps·deg·Σ|aᵣₖ·xₖ|. The
+// +4 headroom and the |want| term cover the final rounding of near-cancelled
+// sums without letting a genuinely wrong value (off by a whole term on the
+// k/8 value grid) slip through.
+func rowTolerance(eps float64, deg int, absSum, want float64) float64 {
+	return eps * float64(deg+4) * (absSum + math.Abs(want))
+}

@@ -266,7 +266,10 @@ func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
 
 // CSRSpMV is the paper's unified interface (SMAT_xCSR_SpMV): it computes
 // y = A·x on a CSR-format input, auto-tuning the matrix on first use and
-// reusing the decision afterwards. x must have length Cols, y length Rows.
+// reusing the decision afterwards. x must have length Cols, y length Rows,
+// and the two must not share memory: kernels clear y and then accumulate
+// reads of x, so an aliased pair would silently corrupt the product. An
+// overlapping x/y is rejected with an error before any kernel runs.
 //
 // CSRSpMV is safe to call from many goroutines on the same matrix: the
 // first use tunes exactly once (concurrent callers block on that one run)
@@ -279,6 +282,9 @@ func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
 	rows, cols := a.Dims()
 	if len(x) != cols || len(y) != rows {
 		return fmt.Errorf("smat: CSRSpMV on %dx%d matrix with |x|=%d |y|=%d", rows, cols, len(x), len(y))
+	}
+	if matrix.SlicesOverlap(x, y) {
+		return fmt.Errorf("smat: CSRSpMV x and y share memory; SpMV reads x while writing y")
 	}
 	s := a.tuned.Load()
 	if s == nil || s.owner != t {
@@ -324,7 +330,9 @@ type Operator[T Float] struct {
 	dec *autotune.Decision
 }
 
-// MulVec computes y = A·x.
+// MulVec computes y = A·x. x and y must not share memory (kernels clear y
+// and then accumulate reads of x); MulVec panics on an overlapping pair —
+// the error-returning entry point is Tuner.CSRSpMV.
 func (o *Operator[T]) MulVec(x, y []T) { o.op.MulVec(x, y) }
 
 // Format returns the chosen storage format.
