@@ -48,6 +48,82 @@ func TestCSRSpMVRejectsAliasedVectors(t *testing.T) {
 	}
 }
 
+// TestCSRSpMVBatchRejectsAliasedBuffers extends the aliasing contract to the
+// batched path: any yb region overlapping xb must be rejected before a
+// kernel runs, on top of the shape and width validation.
+func TestCSRSpMVBatchRejectsAliasedBuffers(t *testing.T) {
+	tn := NewTuner[float64](HeuristicModel(), WithThreads(2))
+	defer tn.Close()
+	a, err := FromEntries(4, 4, diagEntries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+
+	buf := make([]float64, 4*k)
+	if err := tn.CSRSpMVBatch(a, buf, buf, k); err == nil {
+		t.Fatal("identical xb and yb accepted")
+	} else if !strings.Contains(err.Error(), "share memory") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	// A yb region overlapping any part of xb is aliased.
+	shared := make([]float64, 4*k+4*k-2)
+	if err := tn.CSRSpMVBatch(a, shared[:4*k], shared[4*k-2:], k); err == nil {
+		t.Fatal("yb overlapping the tail of xb accepted")
+	} else if !strings.Contains(err.Error(), "share memory") {
+		t.Fatalf("wrong error: %v", err)
+	}
+
+	// Negative width and mis-sized buffers are rejected too.
+	if err := tn.CSRSpMVBatch(a, make([]float64, 4*k), make([]float64, 4*k), -1); err == nil {
+		t.Fatal("negative batch width accepted")
+	}
+	if err := tn.CSRSpMVBatch(a, make([]float64, 4*k-1), make([]float64, 4*k), k); err == nil {
+		t.Fatal("mis-sized xb accepted")
+	}
+
+	// Disjoint halves of one backing array are legal.
+	split := make([]float64, 2*4*k)
+	xb, yb := split[:4*k], split[4*k:]
+	for i := range xb {
+		xb[i] = 1
+	}
+	if err := tn.CSRSpMVBatch(a, xb, yb, k); err != nil {
+		t.Fatalf("disjoint batched halves rejected: %v", err)
+	}
+	// Tridiagonal (2,-1) times ones, both columns: rows 0 and 3 give 1.
+	want := []float64{1, 1, 0, 0, 0, 0, 1, 1}
+	for i := range want {
+		if yb[i] != want[i] {
+			t.Fatalf("yb = %v, want %v", yb, want)
+		}
+	}
+}
+
+// TestOperatorMulVecBatchPanicsOnAliasedBuffers pins the tuned operator's
+// batched contract: MulVecBatch has no error return, so overlapping xb/yb
+// panic instead of corrupting the product.
+func TestOperatorMulVecBatchPanicsOnAliasedBuffers(t *testing.T) {
+	tn := NewTuner[float64](HeuristicModel(), WithThreads(2))
+	defer tn.Close()
+	a, err := FromEntries(4, 4, diagEntries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := tn.Tune(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4*3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVecBatch with aliased xb and yb did not panic")
+		}
+	}()
+	op.MulVecBatch(buf, buf, 3)
+}
+
 // TestOperatorMulVecPanicsOnAliasedVectors pins the tuned operator's
 // contract: MulVec has no error return, so an overlapping x/y panics
 // instead of corrupting the product.

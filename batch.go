@@ -1,0 +1,99 @@
+package smat
+
+import "fmt"
+
+// Batch is a set of k vectors of length n stored interleaved, the layout the
+// batched SpMV entry points consume: element c of vector j lives at
+// data[c*k + j], so the k values of one row or column sit contiguously and
+// the tiled SpMM kernels stream them with unit stride.
+//
+// A Batch packs ordinary []T column vectors into that layout and unpacks
+// results out of it:
+//
+//	xb := smat.PackBatch(rhs)                 // rhs is [][]T, k columns
+//	yb := smat.NewBatch[float64](rows, xb.Width())
+//	tuner.CSRSpMVBatch(a, xb.Data(), yb.Data(), xb.Width())
+//	cols := yb.Unpack()                       // k result vectors
+type Batch[T Float] struct {
+	data []T
+	n, k int
+}
+
+// NewBatch allocates a zeroed batch of k vectors of length n.
+func NewBatch[T Float](n, k int) *Batch[T] {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("smat: NewBatch(%d, %d) with negative size", n, k))
+	}
+	return &Batch[T]{data: make([]T, n*k), n: n, k: k}
+}
+
+// PackBatch interleaves len(vecs) equal-length vectors into a new batch;
+// vector j becomes batch column j. It returns an error when the vectors
+// disagree on length. An empty vecs yields a width-0 batch, which the
+// batched entry points treat as a no-op.
+func PackBatch[T Float](vecs [][]T) (*Batch[T], error) {
+	k := len(vecs)
+	if k == 0 {
+		return &Batch[T]{}, nil
+	}
+	n := len(vecs[0])
+	for j, v := range vecs {
+		if len(v) != n {
+			return nil, fmt.Errorf("smat: PackBatch vector %d has length %d, want %d", j, len(v), n)
+		}
+	}
+	b := NewBatch[T](n, k)
+	for j, v := range vecs {
+		b.Set(j, v)
+	}
+	return b, nil
+}
+
+// Data exposes the interleaved buffer, sized Len()·Width(), in the exact
+// form CSRSpMVBatch and Operator.MulVecBatch consume.
+func (b *Batch[T]) Data() []T { return b.data }
+
+// Len returns the length n of each vector in the batch.
+func (b *Batch[T]) Len() int { return b.n }
+
+// Width returns the number of vectors k in the batch.
+func (b *Batch[T]) Width() int { return b.k }
+
+// Set copies v (length Len()) into batch column j.
+func (b *Batch[T]) Set(j int, v []T) {
+	if j < 0 || j >= b.k {
+		panic(fmt.Sprintf("smat: Batch.Set column %d out of range [0, %d)", j, b.k))
+	}
+	if len(v) != b.n {
+		panic(fmt.Sprintf("smat: Batch.Set vector length %d, want %d", len(v), b.n))
+	}
+	for c, x := range v {
+		b.data[c*b.k+j] = x
+	}
+}
+
+// Col copies batch column j into dst (allocated when nil, length Len()
+// otherwise) and returns it.
+func (b *Batch[T]) Col(j int, dst []T) []T {
+	if j < 0 || j >= b.k {
+		panic(fmt.Sprintf("smat: Batch.Col column %d out of range [0, %d)", j, b.k))
+	}
+	if dst == nil {
+		dst = make([]T, b.n)
+	} else if len(dst) != b.n {
+		panic(fmt.Sprintf("smat: Batch.Col destination length %d, want %d", len(dst), b.n))
+	}
+	for c := range dst {
+		dst[c] = b.data[c*b.k+j]
+	}
+	return dst
+}
+
+// Unpack de-interleaves the batch into k freshly allocated vectors.
+func (b *Batch[T]) Unpack() [][]T {
+	out := make([][]T, b.k)
+	for j := range out {
+		out[j] = b.Col(j, nil)
+	}
+	return out
+}

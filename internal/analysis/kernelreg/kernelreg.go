@@ -4,9 +4,12 @@
 // The analyzer activates on any package that declares a top-level function
 // named allKernels (the kernel registry root; internal/kernels in this
 // repository). It gathers every kernel entry registered by provider
-// functions — top-level functions returning a slice of *Kernel — and checks:
+// functions — top-level functions returning a slice of *Kernel or
+// *BatchKernel — and checks:
 //
-//   - kernel names are unique, non-empty string literals;
+//   - kernel names are unique, non-empty string literals (single-vector and
+//     batched kernels live in separate lookup namespaces, so uniqueness is
+//     per namespace);
 //   - every entry's run field is a top-level function (optionally a generic
 //     instantiation) or a call to a top-level factory — never a closure or a
 //     variable, so registration is the only place function values are built
@@ -19,6 +22,9 @@
 //   - every exported constant of the registry's Format type — wherever that
 //     type is defined — has at least one registered kernel and at least one
 //     strategy-free basic kernel (the scoreboard anchor);
+//   - once the package registers any batched kernel, every format constant
+//     also has a batched kernel and a strategy-free batched anchor, so the
+//     batched serving path never silently loses a format;
 //   - the package's newPlan function has a partitioner case for every such
 //     format constant.
 package kernelreg
@@ -46,6 +52,7 @@ type entry struct {
 	nameOK     bool
 	format     *types.Const
 	strategies bool // true when the Strategies field is present and nonzero
+	batch      bool // true for BatchKernel entries
 	runExpr    ast.Expr
 }
 
@@ -65,6 +72,7 @@ func run(pass *framework.Pass) error {
 	if formatType != nil {
 		consts := formatConstants(pass, formatType)
 		checkFormatCoverage(pass, decls["allKernels"], entries, consts)
+		checkBatchCoverage(pass, decls, entries, consts)
 		checkPlanCoverage(pass, decls, consts)
 	}
 	return nil
@@ -84,8 +92,8 @@ func topLevelFuncs(files []*ast.File) map[string]*ast.FuncDecl {
 }
 
 // collectEntries gathers kernel composite literals from every provider (a
-// top-level function returning []*Kernel or []Kernel) and the Format field's
-// named type.
+// top-level function returning a slice of Kernel or BatchKernel, by value or
+// pointer) and the Format field's named type.
 func collectEntries(pass *framework.Pass, decls map[string]*ast.FuncDecl) ([]*entry, *types.Named) {
 	var entries []*entry
 	var formatType *types.Named
@@ -99,10 +107,14 @@ func collectEntries(pass *framework.Pass, decls map[string]*ast.FuncDecl) ([]*en
 				return true
 			}
 			tv, ok := pass.Info.Types[lit]
-			if !ok || !isKernelType(tv.Type) {
+			if !ok {
 				return true
 			}
-			e := &entry{lit: lit}
+			kind, ok := kernelTypeName(tv.Type)
+			if !ok {
+				return true
+			}
+			e := &entry{lit: lit, batch: kind == "BatchKernel"}
 			for _, el := range lit.Elts {
 				kv, ok := el.(*ast.KeyValueExpr)
 				if !ok {
@@ -162,15 +174,28 @@ func returnsKernelSlice(pass *framework.Pass, fd *ast.FuncDecl) bool {
 		return false
 	}
 	sl, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
-	return ok && isKernelType(sl.Elem())
+	if !ok {
+		return false
+	}
+	_, ok = kernelTypeName(sl.Elem())
+	return ok
 }
 
-func isKernelType(t types.Type) bool {
+// kernelTypeName reports whether t is a (pointer to a) registry entry type
+// and which of the two namespaces it belongs to.
+func kernelTypeName(t types.Type) (string, bool) {
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Kernel"
+	if !ok {
+		return "", false
+	}
+	switch name := named.Obj().Name(); name {
+	case "Kernel", "BatchKernel":
+		return name, true
+	}
+	return "", false
 }
 
 // constObj resolves the expression to the constant object it denotes.
@@ -187,15 +212,21 @@ func constObj(pass *framework.Pass, e ast.Expr) *types.Const {
 }
 
 func checkNames(pass *framework.Pass, entries []*entry) {
+	// Single-vector and batched kernels resolve through separate library
+	// lookups, so a name may legally appear once in each namespace.
 	seen := map[string]bool{}
 	for _, e := range entries {
 		if !e.nameOK {
 			continue
 		}
-		if seen[e.name] {
+		key := e.name
+		if e.batch {
+			key = "batch\x00" + e.name
+		}
+		if seen[key] {
 			pass.Reportf(e.lit.Pos(), "duplicate kernel name %q in the registry", e.name)
 		}
-		seen[e.name] = true
+		seen[key] = true
 	}
 }
 
@@ -352,7 +383,7 @@ func checkFormatCoverage(pass *framework.Pass, at *ast.FuncDecl, entries []*entr
 	covered := map[string]bool{}
 	basic := map[string]bool{}
 	for _, e := range entries {
-		if e.format == nil {
+		if e.format == nil || e.batch {
 			continue
 		}
 		covered[e.format.Name()] = true
@@ -365,6 +396,40 @@ func checkFormatCoverage(pass *framework.Pass, at *ast.FuncDecl, entries []*entr
 			pass.Reportf(at.Pos(), "format %s has no registered kernel", c.Name())
 		} else if !basic[c.Name()] {
 			pass.Reportf(at.Pos(), "format %s has no basic (strategy-free) kernel to anchor the scoreboard", c.Name())
+		}
+	}
+}
+
+// checkBatchCoverage mirrors checkFormatCoverage over the batched namespace:
+// once the package registers any batched kernel, every format constant must
+// keep a batched kernel and a strategy-free batched anchor. Reported at the
+// allBatchKernels root when one exists, else at allKernels.
+func checkBatchCoverage(pass *framework.Pass, decls map[string]*ast.FuncDecl, entries []*entry, consts []*types.Const) {
+	covered := map[string]bool{}
+	basic := map[string]bool{}
+	any := false
+	for _, e := range entries {
+		if !e.batch || e.format == nil {
+			continue
+		}
+		any = true
+		covered[e.format.Name()] = true
+		if !e.strategies {
+			basic[e.format.Name()] = true
+		}
+	}
+	if !any {
+		return
+	}
+	at := decls["allBatchKernels"]
+	if at == nil {
+		at = decls["allKernels"]
+	}
+	for _, c := range consts {
+		if !covered[c.Name()] {
+			pass.Reportf(at.Pos(), "format %s has no registered batch kernel", c.Name())
+		} else if !basic[c.Name()] {
+			pass.Reportf(at.Pos(), "format %s has no basic (strategy-free) batch kernel", c.Name())
 		}
 	}
 }

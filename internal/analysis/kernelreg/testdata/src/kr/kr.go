@@ -35,6 +35,17 @@ type Kernel struct {
 	run        runFn
 }
 
+type batchFn func(ex exec, k int)
+
+// BatchKernel mirrors kernels.BatchKernel; its entries live in a separate
+// lookup namespace.
+type BatchKernel struct {
+	Name       string
+	Format     Format
+	Strategies int
+	run        batchFn
+}
+
 // --- chunk and serial bodies (top-level funcvals) -------------------------
 
 func csrSerial(ex exec)            {}
@@ -43,6 +54,10 @@ func ellSerial(ex exec)            {}
 func hybSerial(ex exec)            {}
 func csrChunk(ex exec, lo, hi int) {}
 func ellChunk(ex exec, lo, hi int) {}
+func csrBatch(ex exec, k int)      {}
+func cooBatch(ex exec, k int)      {}
+func ellBatch(ex exec, k int)      {}
+func hybBatch(ex exec, k int)      {}
 
 var ellVar runFn = ellSerial
 
@@ -123,6 +138,36 @@ func allKernels() []*Kernel { // want `format FormatDIA has no registered kernel
 func hybKernels() []*Kernel {
 	return []*Kernel{
 		{Name: "hyb-split", Format: FormatHYB, Strategies: 1, run: hybSerial},
+	}
+}
+
+// goodBatchFactory binds its chunk once and honours the serial cutoff, like
+// the single-vector factories.
+func goodBatchFactory() batchFn {
+	chunk := rangeFn(csrChunk)
+	return func(ex exec, k int) {
+		if ex.plan.Serial {
+			csrBatch(ex, k)
+			return
+		}
+		chunk(ex, 0, 1)
+	}
+}
+
+// allBatchKernels is the batched registry root. FormatDIA has no batched
+// kernel and FormatHYB has no strategy-free batched anchor; "csr-serial"
+// legally reuses a single-vector name (separate namespace), while the
+// duplicate within the batched namespace fires.
+func allBatchKernels() []*BatchKernel { // want `format FormatDIA has no registered batch kernel` `format FormatHYB has no basic \(strategy-free\) batch kernel`
+	return []*BatchKernel{
+		{Name: "csr-batch", Format: FormatCSR, run: csrBatch},
+		{Name: "csr-batch-par", Format: FormatCSR, Strategies: 1, run: goodBatchFactory()},
+		{Name: "csr-batch", Format: FormatCSR, run: csrBatch}, // want `duplicate kernel name`
+		{Name: "csr-serial", Format: FormatCSR, run: csrBatch},
+		{Name: "coo-batch", Format: FormatCOO, run: cooBatch},
+		{Name: "ell-batch", Format: FormatELL, run: ellBatch},
+		{Name: "ell-batch-closure", Format: FormatELL, Strategies: 1, run: func(ex exec, k int) {}}, // want `not a closure`
+		{Name: "hyb-batch-par", Format: FormatHYB, Strategies: 1, run: hybBatch},
 	}
 }
 

@@ -28,6 +28,10 @@ type CacheEntry struct {
 	Kernel     string
 	Confidence float64
 	Measured   bool
+	// BatchCrossover is the leader's measured batch-width crossover (see
+	// Decision.BatchCrossover); cache hits reuse it instead of re-probing.
+	// Zero means the probe never ran — appliers substitute a default.
+	BatchCrossover int
 }
 
 // CacheStats is a point-in-time snapshot of the decision cache counters.

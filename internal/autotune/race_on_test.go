@@ -1,0 +1,5 @@
+//go:build race
+
+package autotune
+
+const raceEnabledAutotune = true

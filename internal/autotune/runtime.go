@@ -3,6 +3,7 @@ package autotune
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"smat/internal/features"
@@ -36,11 +37,19 @@ type Decision struct {
 	Chosen matrix.Format
 	Kernel string
 
+	// BatchCrossover is the measured batch width at or above which the tiled
+	// SpMM kernel beats looping the single-vector kernel over the right-hand
+	// sides: MulVecBatch takes the tiled path for k ≥ BatchCrossover. It is
+	// NeverBatch when the loop won at every probed width, and 0 when the
+	// chosen format has no batched kernel registered.
+	BatchCrossover int
+
 	// Timing breakdown (seconds).
-	FeatureSec  float64
-	ConvertSec  float64
-	FallbackSec float64
-	CSRSpMVSec  float64
+	FeatureSec    float64
+	ConvertSec    float64
+	FallbackSec   float64
+	BatchProbeSec float64
+	CSRSpMVSec    float64
 }
 
 // Overhead returns the total decision cost in multiples of one basic
@@ -49,7 +58,7 @@ func (d *Decision) Overhead() float64 {
 	if d.CSRSpMVSec <= 0 {
 		return 0
 	}
-	return (d.FeatureSec + d.ConvertSec + d.FallbackSec) / d.CSRSpMVSec
+	return (d.FeatureSec + d.ConvertSec + d.FallbackSec + d.BatchProbeSec) / d.CSRSpMVSec
 }
 
 // Operator is a tuned SpMV: the matrix materialised in its chosen format
@@ -60,6 +69,15 @@ type Operator[T matrix.Float] struct {
 	kernel *kernels.Kernel[T]
 	pool   *kernels.Pool[T]
 	nnz    int
+
+	// batch is the format's tiled SpMM kernel (nil when none is registered)
+	// and batchCrossover the measured width at which it starts beating the
+	// loop-over-vectors path; see MulVecBatch.
+	batch          *kernels.BatchKernel[T]
+	batchCrossover int
+	// scratch is the loop path's reusable gather/scatter buffer pair,
+	// detached (Swap) while in use so concurrent calls never share it.
+	scratch atomic.Pointer[batchScratch[T]]
 }
 
 // MulVec computes y = A·x on the steady-state execution path: the work
@@ -73,10 +91,96 @@ type Operator[T matrix.Float] struct {
 //
 //smat:hotpath
 func (o *Operator[T]) MulVec(x, y []T) {
+	checkOverlap(x, y)
+	o.kernel.RunPooled(o.mat, x, y, o.pool)
+}
+
+// NeverBatch is the BatchCrossover sentinel recorded when the tiled SpMM
+// kernel lost to the loop-over-vectors path at every probed width: no
+// realistic k reaches it, so MulVecBatch always loops.
+const NeverBatch = 1 << 30
+
+// defaultBatchCrossover is assumed when a cached decision predates the
+// crossover probe (or was inserted without one): tile from width 4 — the
+// register-tile width, past which the tiled kernels pay no remainder cost.
+const defaultBatchCrossover = 4
+
+// MulVecBatch computes Y = A·X for k right-hand sides held interleaved:
+// column c of X occupies xb[c*k : (c+1)*k] (one value per RHS), row r of Y
+// likewise yb[r*k : (r+1)*k], so len(xb) = Cols·k and len(yb) = Rows·k.
+// Batches of one run the tuned single-vector kernel directly; larger batches
+// take the tiled SpMM kernel when k clears the measured crossover and the
+// loop-over-vectors path otherwise. Like MulVec this is the steady-state
+// path: repeated calls allocate nothing. k = 0 is a no-op; a negative k,
+// mis-sized buffers, or xb/yb sharing memory panic (the error-returning
+// entry point is Tuner.CSRSpMVBatch in the root package).
+//
+//smat:hotpath
+func (o *Operator[T]) MulVecBatch(xb, yb []T, k int) {
+	if k < 0 {
+		negativeBatchWidth(k)
+	}
+	if k == 0 {
+		return
+	}
+	rows, cols := o.mat.Dims()
+	if len(xb) != cols*k || len(yb) != rows*k {
+		batchShapeMismatch(rows, cols, len(xb), len(yb), k)
+	}
+	checkOverlap(xb, yb)
+	if k == 1 {
+		// A width-1 interleaved batch is a plain vector: the tuned kernel
+		// computes it bit-for-bit, with no pack/unpack detour.
+		o.kernel.RunPooled(o.mat, xb, yb, o.pool)
+		return
+	}
+	if o.batch != nil && k >= o.batchCrossover {
+		o.batch.RunPooled(o.mat, xb, yb, k, o.pool)
+		return
+	}
+	o.loopVectors(xb, yb, k)
+}
+
+// batchScratch is the loop-over-vectors gather/scatter buffer pair. It is
+// cached on the operator after the first loop-path call: AllocsPerRun-style
+// steady-state accounting sees zero allocations.
+type batchScratch[T matrix.Float] struct {
+	x, y []T
+}
+
+// loopVectors is MulVecBatch's small-k path: gather each RHS column from the
+// interleaved buffer, run the tuned single-vector kernel, scatter the result
+// back. The scratch pair is detached from the operator while in use, so a
+// concurrent call allocates its own instead of corrupting the product.
+func (o *Operator[T]) loopVectors(xb, yb []T, k int) {
+	rows, cols := o.mat.Dims()
+	s := o.scratch.Swap(nil)
+	if s == nil {
+		s = &batchScratch[T]{x: make([]T, cols), y: make([]T, rows)}
+	}
+	x, y := s.x, s.y
+	for j := 0; j < k; j++ {
+		for c := 0; c < cols; c++ {
+			x[c] = xb[c*k+j]
+		}
+		o.kernel.RunPooled(o.mat, x, y, o.pool)
+		for r := 0; r < rows; r++ {
+			yb[r*k+j] = y[r]
+		}
+	}
+	o.scratch.Store(s)
+}
+
+// checkOverlap rejects an x/y pair sharing memory. The address comparison
+// inlines into the caller's hot path; the panic stays out of line in
+// aliasedVectors, so the fast path carries one never-taken forward branch
+// and no interface boxing.
+//
+//smat:hotpath
+func checkOverlap[T matrix.Float](x, y []T) {
 	if matrix.SlicesOverlap(x, y) {
 		aliasedVectors()
 	}
-	o.kernel.RunPooled(o.mat, x, y, o.pool)
 }
 
 // aliasedVectors reports an overlapping x/y pair. Outlined and kept out of
@@ -85,6 +189,17 @@ func (o *Operator[T]) MulVec(x, y []T) {
 //go:noinline
 func aliasedVectors() {
 	panic("autotune: MulVec called with x and y sharing memory; SpMV reads x while writing y")
+}
+
+//go:noinline
+func negativeBatchWidth(k int) {
+	panic(fmt.Sprintf("autotune: MulVecBatch called with negative batch width %d", k))
+}
+
+//go:noinline
+func batchShapeMismatch(rows, cols, lx, ly, k int) {
+	panic(fmt.Sprintf("autotune: MulVecBatch on %dx%d matrix with k=%d needs |xb|=%d |yb|=%d, got %d and %d",
+		rows, cols, k, cols*k, rows*k, lx, ly))
 }
 
 // Format returns the storage format the tuner chose.
@@ -247,7 +362,7 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 		if d.UsedFallback {
 			conf = 1 // measured ground truth
 		}
-		return CacheEntry{Format: d.Chosen, Kernel: d.Kernel, Confidence: conf, Measured: d.UsedFallback}, nil
+		return CacheEntry{Format: d.Chosen, Kernel: d.Kernel, Confidence: conf, Measured: d.UsedFallback, BatchCrossover: d.BatchCrossover}, nil
 	})
 	if err != nil {
 		return nil, d, err
@@ -287,7 +402,19 @@ func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Oper
 	d.Confidence = entry.Confidence
 	d.Chosen = entry.Format
 	d.Kernel = k.Name
-	return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
+	op := &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
+	// Reuse the leader's measured crossover instead of re-probing: cache hits
+	// stay measurement-free. Entries predating the probe (< 2 can never be a
+	// real crossover) fall back to the register-tile width.
+	op.batch = t.lib.BatchFor(entry.Format)
+	op.batchCrossover = entry.BatchCrossover
+	if op.batchCrossover < 2 {
+		op.batchCrossover = defaultBatchCrossover
+	}
+	if op.batch != nil {
+		d.BatchCrossover = op.batchCrossover
+	}
+	return op, nil
 }
 
 // refreshBelow is the confidence bar under which a cached, un-measured
@@ -330,7 +457,9 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 			k := t.kernelFor(d.Chosen)
 			d.Kernel = k.Name
 			t.accountCSRBaseline(m, d)
-			return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
+			op := &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
+			t.bindBatch(op, d)
+			return op, nil
 		}
 		// Fill guard rejected the predicted format; fall through to
 		// measurement (or the best-effort pick when fallback is off).
@@ -343,6 +472,7 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 			return nil, err
 		}
 		t.accountCSRBaseline(m, d)
+		t.bindBatch(op, d)
 		return op, nil
 	}
 
@@ -351,7 +481,70 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 		return nil, err
 	}
 	t.accountCSRBaseline(m, d)
+	t.bindBatch(op, d)
 	return op, nil
+}
+
+// batchProbeWidths are the batch widths the crossover probe times, ordered:
+// the first width where the tiled kernel matches k independent single-vector
+// runs becomes the operator's crossover.
+var batchProbeWidths = [...]int{2, 4, 8}
+
+// bindBatch attaches the format's tiled SpMM kernel to a freshly decided
+// operator and measures the batch-width crossover, recording it in the
+// decision (and hence the cache). Formats without a registered batch kernel
+// leave BatchCrossover at 0 and MulVecBatch always loops.
+func (t *Tuner[T]) bindBatch(op *Operator[T], d *Decision) {
+	op.batchCrossover = NeverBatch
+	op.batch = t.lib.BatchFor(op.mat.Format)
+	if op.batch == nil {
+		return
+	}
+	if op.nnz == 0 {
+		// Nothing to measure; both paths are trivially cheap, so prefer the
+		// tiled kernel (one pass instead of k) at every width.
+		op.batchCrossover = batchProbeWidths[0]
+		d.BatchCrossover = op.batchCrossover
+		return
+	}
+	start := time.Now()
+	op.batchCrossover = t.measureCrossover(op, d)
+	d.BatchProbeSec = time.Since(start).Seconds()
+	d.BatchCrossover = op.batchCrossover
+}
+
+// measureCrossover times the tuned single-vector kernel against the tiled
+// SpMM kernel at each probe width and returns the first width where the
+// tiled pass costs no more than k single-vector passes (NeverBatch when the
+// loop wins everywhere). The probe budget is calibrated like the fallback's:
+// a few CSR-SpMV executions per timing, never less than 10µs.
+func (t *Tuner[T]) measureCrossover(op *Operator[T], d *Decision) int {
+	rows, cols := op.mat.Dims()
+	maxK := batchProbeWidths[len(batchProbeWidths)-1]
+	// All-ones input: any k-prefix of the buffer is a valid interleaved batch
+	// of k identical vectors, so one allocation serves every probed width.
+	xb := make([]T, cols*maxK)
+	for i := range xb {
+		xb[i] = 1
+	}
+	yb := make([]T, rows*maxK)
+
+	measure := t.measure
+	if budget := time.Duration(3 * d.CSRSpMVSec * float64(time.Second)); budget < measure.MinTime {
+		if budget < 10*time.Microsecond {
+			budget = 10 * time.Microsecond
+		}
+		measure.MinTime = budget
+	}
+
+	single := MeasureSecPerOp(func() { op.kernel.RunPooled(op.mat, xb[:cols], yb[:rows], op.pool) }, measure)
+	for _, k := range batchProbeWidths {
+		sec := MeasureSecPerOp(func() { op.batch.RunPooled(op.mat, xb[:cols*k], yb[:rows*k], k, op.pool) }, measure)
+		if sec <= single*float64(k) {
+			return k
+		}
+	}
+	return NeverBatch
 }
 
 // bestEffort is the no-fallback decision: the highest-confidence matching,

@@ -171,11 +171,23 @@ func Extract[T matrix.Float](m *matrix.CSR[T]) Features {
 	}
 
 	// Pass 1: diagonals and row degrees together. Diagonal occupancy is
-	// counted in a flat array indexed by offset+(rows-1): one increment per
-	// nonzero keeps feature extraction within a few CSR-SpMV executions,
-	// which is what makes the paper's 2–5× decision overhead achievable.
-	diagCount := make([]int32, m.Rows+m.Cols-1)
+	// counted in a flat array indexed by offset+(rows-1) when the matrix is
+	// dense enough to plausibly touch a fair share of its Rows+Cols-1
+	// diagonals: one increment per nonzero keeps feature extraction within a
+	// few CSR-SpMV executions, which is what makes the paper's 2–5× decision
+	// overhead achievable. Hypersparse matrices (NNZ far below the diagonal
+	// count) would pay more for allocating and sweeping that array than for
+	// the nonzeros themselves, so they tally into a map bounded by NNZ
+	// entries instead.
 	base := m.Rows - 1
+	hypersparse := f.NNZ < (m.Rows+m.Cols)/8
+	var diagFlat []int32
+	var diagMap map[int]int32
+	if hypersparse {
+		diagMap = make(map[int]int32, f.NNZ)
+	} else {
+		diagFlat = make([]int32, m.Rows+m.Cols-1)
+	}
 	maxRD := 0
 	degrees := make([]int, m.Rows)
 	for r := 0; r < m.Rows; r++ {
@@ -185,7 +197,11 @@ func Extract[T matrix.Float](m *matrix.CSR[T]) Features {
 			maxRD = deg
 		}
 		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
-			diagCount[m.ColIdx[jj]-r+base]++
+			if hypersparse {
+				diagMap[m.ColIdx[jj]-r]++
+			} else {
+				diagFlat[m.ColIdx[jj]-r+base]++
+			}
 		}
 	}
 	f.MaxRD = float64(maxRD)
@@ -198,13 +214,21 @@ func Extract[T matrix.Float](m *matrix.CSR[T]) Features {
 	f.VarRD = acc / float64(f.M)
 
 	trueDiags := 0
-	for idx, cnt := range diagCount {
-		if cnt == 0 {
-			continue
-		}
+	countDiag := func(off int, cnt int32) {
 		f.Ndiags++
-		if float64(cnt) >= TrueDiagOccupancy*float64(diagLength(m.Rows, m.Cols, idx-base)) {
+		if float64(cnt) >= TrueDiagOccupancy*float64(diagLength(m.Rows, m.Cols, off)) {
 			trueDiags++
+		}
+	}
+	if hypersparse {
+		for off, cnt := range diagMap {
+			countDiag(off, cnt)
+		}
+	} else {
+		for idx, cnt := range diagFlat {
+			if cnt != 0 {
+				countDiag(idx-base, cnt)
+			}
 		}
 	}
 	if f.Ndiags > 0 {

@@ -188,6 +188,83 @@ func TestFeatureInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestExtractHypersparseAgreesWithDense pins the map-based diagonal tally
+// against the flat-array path: the same matrix pushed through both (by
+// padding it with extra nonzeros until it leaves the hypersparse regime
+// would change it, so instead we compare a hypersparse extraction against a
+// brute-force diagonal count) must agree on every diagonal statistic.
+func TestExtractHypersparseAgreesWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// 100k × 100k with 60 nonzeros: NNZ << (Rows+Cols)/8, firmly hypersparse.
+	rows, cols := 100000, 100000
+	var ts []matrix.Triple[float64]
+	for i := 0; i < 60; i++ {
+		ts = append(ts, matrix.Triple[float64]{Row: rng.Intn(rows), Col: rng.Intn(cols), Val: 1})
+	}
+	// Plus one fully occupied short diagonal so trueDiags is nonzero.
+	ts = append(ts, matrix.Triple[float64]{Row: rows - 1, Col: 0, Val: 1})
+	m := mustCSR(t, rows, cols, ts)
+	if m.NNZ() >= (rows+cols)/8 {
+		t.Fatalf("test matrix not hypersparse: %d nonzeros", m.NNZ())
+	}
+	f := Extract(m)
+
+	// Brute-force reference over the triples.
+	diag := map[int]int{}
+	for r := 0; r < rows; r++ {
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			diag[m.ColIdx[jj]-r]++
+		}
+	}
+	trueDiags := 0
+	for off, cnt := range diag {
+		if float64(cnt) >= TrueDiagOccupancy*float64(diagLength(rows, cols, off)) {
+			trueDiags++
+		}
+	}
+	if f.Ndiags != len(diag) {
+		t.Errorf("Ndiags = %d, want %d", f.Ndiags, len(diag))
+	}
+	wantRatio := float64(trueDiags) / float64(len(diag))
+	if !almost(f.NTdiagsRatio, wantRatio) {
+		t.Errorf("NTdiags_ratio = %g, want %g", f.NTdiagsRatio, wantRatio)
+	}
+	if !almost(f.ERDIA, float64(f.NNZ)/(float64(f.Ndiags)*float64(rows))) {
+		t.Errorf("ER_DIA = %g inconsistent", f.ERDIA)
+	}
+}
+
+// TestExtractRegimeBoundary walks matrices across the hypersparse threshold
+// and checks both tally paths yield identical features for the same matrix
+// structure scaled to either side of the cutoff.
+func TestExtractRegimeBoundary(t *testing.T) {
+	// A 1000×1000 tridiagonal band restricted to the first b rows: with
+	// b = 100 the matrix has ~300 nonzeros > (2000)/8 = 250 (flat path),
+	// with b = 70 it has ~210 < 250 (map path). Both must report the same
+	// three diagonals.
+	for _, b := range []int{70, 100} {
+		n := 1000
+		var ts []matrix.Triple[float64]
+		for i := 0; i < b; i++ {
+			ts = append(ts, matrix.Triple[float64]{Row: i, Col: i, Val: 2})
+			if i > 0 {
+				ts = append(ts, matrix.Triple[float64]{Row: i, Col: i - 1, Val: -1})
+			}
+			if i < n-1 {
+				ts = append(ts, matrix.Triple[float64]{Row: i, Col: i + 1, Val: -1})
+			}
+		}
+		m := mustCSR(t, n, n, ts)
+		f := Extract(m)
+		if f.Ndiags != 3 {
+			t.Errorf("b=%d (nnz=%d): Ndiags = %d, want 3", b, m.NNZ(), f.Ndiags)
+		}
+		if f.NNZ != len(ts) {
+			t.Errorf("b=%d: NNZ = %d, want %d", b, f.NNZ, len(ts))
+		}
+	}
+}
+
 func TestVectorMatchesAttributeNames(t *testing.T) {
 	f := Extract(paperCSR(t))
 	v := f.Vector()

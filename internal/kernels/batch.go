@@ -1,0 +1,47 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// Batched (multi-vector) SpMV: Y = A·X for k right-hand sides held in the
+// interleaved layout xb[col*k+j] / yb[row*k+j]. Interleaving makes the k
+// values per matrix column contiguous, so each loaded vals[jj]/colIdx[jj]
+// pair is amortised over a unit-stride streak of k multiply-adds — the
+// arithmetic-intensity lever single-vector SpMV lacks (every A element read
+// from memory buys exactly one FLOP pair there).
+//
+// All batch kernels tile the RHS dimension with a fixed register tile of
+// width batchTile: full tiles keep four independent accumulators live per
+// matrix entry, and the remainder columns fall back to a scalar column loop
+// whose accumulation order matches the format's single-vector kernel — at
+// k=1 only the remainder loop runs, so csr_batch is bit-for-bit csr_basic,
+// dia_batch is bit-for-bit dia_rowmajor, and so on (pinned by the batched
+// oracle).
+
+// batchTile is the register-tile width of the batched kernels: each loaded
+// matrix entry feeds this many independent accumulators. Four keeps the live
+// register set small enough for the compiler on every format's inner loop.
+const batchTile = 4
+
+// allBatchKernels returns the stock batched kernels. Like allKernels, the
+// parallel variants bind their chunk functions at registration; every
+// parallel body degrades to its serial body below the plan's (k-scaled)
+// cutoff. HYB/BCSR batch kernels are opt-in via RegisterHYB/RegisterBCSR.
+func allBatchKernels[T matrix.Float]() []*BatchKernel[T] {
+	return []*BatchKernel[T]{
+		// CSR family.
+		{Name: "csr_batch", Format: matrix.FormatCSR, Strategies: 0, run: runCSRBatch[T]},
+		{Name: "csr_batch_unroll4", Format: matrix.FormatCSR, Strategies: StratUnroll4, run: runCSRBatchUnroll4[T]},
+		{Name: "csr_batch_parallel", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, run: runCSRBatchParallel[T]()},
+		{Name: "csr_batch_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCSRBatchParallelUnroll4[T]()},
+		// COO family.
+		{Name: "coo_batch", Format: matrix.FormatCOO, Strategies: 0, run: runCOOBatch[T]},
+		{Name: "coo_batch_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, run: runCOOBatchParallel[T]()},
+		// DIA family (row-major by construction: the interleaved Y tile makes
+		// write-once row traversal the natural batched order).
+		{Name: "dia_batch", Format: matrix.FormatDIA, Strategies: 0, run: runDIABatch[T]},
+		{Name: "dia_batch_parallel", Format: matrix.FormatDIA, Strategies: StratParallel, run: runDIABatchParallel[T]()},
+		// ELL family (row-major, same reasoning as DIA).
+		{Name: "ell_batch", Format: matrix.FormatELL, Strategies: 0, run: runELLBatch[T]},
+		{Name: "ell_batch_parallel", Format: matrix.FormatELL, Strategies: StratParallel, run: runELLBatchParallel[T]()},
+	}
+}

@@ -129,7 +129,7 @@ func runBCSRBlockSpec[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func bcsrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func bcsrChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	bcsrDispatchRange(m.BCSR, x, y, lo, hi)
 }
 
@@ -141,7 +141,7 @@ func runBCSRBlockSpecParallel[T matrix.Float]() runFn[T] {
 			bcsrDispatchRange(m.BCSR, x, y, 0, m.BCSR.BlockRows())
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -154,9 +154,21 @@ func bcsrKernels[T matrix.Float]() []*Kernel[T] {
 	}
 }
 
+// bcsrBatchKernels returns the batched extension kernels, registered
+// alongside the single-vector ones by RegisterBCSR.
+func bcsrBatchKernels[T matrix.Float]() []*BatchKernel[T] {
+	return []*BatchKernel[T]{
+		{Name: "bcsr_batch", Format: matrix.FormatBCSR, Strategies: 0, run: runBCSRBatch[T]},
+		{Name: "bcsr_batch_parallel", Format: matrix.FormatBCSR, Strategies: StratParallel, run: runBCSRBatchParallel[T]()},
+	}
+}
+
 // RegisterBCSR adds the blocked-CSR kernels to the library.
 func (l *Library[T]) RegisterBCSR() {
 	for _, k := range bcsrKernels[T]() {
 		l.Register(k)
+	}
+	for _, b := range bcsrBatchKernels[T]() {
+		l.RegisterBatch(b)
 	}
 }

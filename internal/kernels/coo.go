@@ -92,14 +92,14 @@ func cooChunkRows[T matrix.Float](c *matrix.COO[T], lo, hi int) (rLo, rHi int) {
 }
 
 //smat:hotpath
-func cooChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func cooChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	rLo, rHi := cooChunkRows(m.COO, lo, hi)
 	clear(y[rLo:rHi])
 	cooRange(m.COO, x, y, lo, hi)
 }
 
 //smat:hotpath
-func cooChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func cooChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	rLo, rHi := cooChunkRows(m.COO, lo, hi)
 	clear(y[rLo:rHi])
 	cooRangeUnroll4(m.COO, x, y, lo, hi)
@@ -114,7 +114,7 @@ func runCOOParallel[T matrix.Float]() runFn[T] {
 			cooRange(m.COO, x, y, 0, m.COO.NNZ())
 			return
 		}
-		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -127,6 +127,6 @@ func runCOOParallelUnroll4[T matrix.Float]() runFn[T] {
 			cooRangeUnroll4(m.COO, x, y, 0, m.COO.NNZ())
 			return
 		}
-		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, x, y, 1)
 	}
 }

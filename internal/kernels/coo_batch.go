@@ -1,0 +1,59 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// cooBatchRange accumulates entries [lo, hi) into yb for k interleaved
+// right-hand sides. Callers must have zeroed the affected rows of yb. The
+// per-entry column loop is the unit-stride streak the interleaved layout
+// buys: one rows[i]/cols[i]/vals[i] load feeds k multiply-adds. At k=1 only
+// the remainder step runs, matching cooRange's order (bit-for-bit coo_basic).
+//
+//smat:hotpath
+func cooBatchRange[T matrix.Float](m *matrix.COO[T], xb, yb []T, k, lo, hi int) {
+	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		v := vals[i]
+		yr := yb[rows[i]*k:]
+		xc := xb[cols[i]*k:]
+		j := 0
+		for ; j+batchTile <= k; j += batchTile {
+			yr[j] += v * xc[j]
+			yr[j+1] += v * xc[j+1]
+			yr[j+2] += v * xc[j+2]
+			yr[j+3] += v * xc[j+3]
+		}
+		for ; j < k; j++ {
+			yr[j] += v * xc[j]
+		}
+	}
+}
+
+//smat:hotpath
+func runCOOBatch[T matrix.Float](m *Mat[T], xb, yb []T, k int, _ exec[T]) {
+	clear(yb)
+	cooBatchRange(m.COO, xb, yb, k, 0, m.COO.NNZ())
+}
+
+// cooBatchChunk clears and accumulates the rows owned by entry chunk
+// [lo, hi); chunk boundaries fall on row boundaries (cooBounds), so the
+// scaled row ranges never overlap across concurrent chunks.
+//
+//smat:hotpath
+func cooBatchChunk[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	rLo, rHi := cooChunkRows(m.COO, lo, hi)
+	clear(yb[rLo*k : rHi*k])
+	cooBatchRange(m.COO, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath-factory
+func runCOOBatchParallel[T matrix.Float]() batchFn[T] {
+	chunk := rangeFn[T](cooBatchChunk[T])
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			clear(yb)
+			cooBatchRange(m.COO, xb, yb, k, 0, m.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, xb, yb, k)
+	}
+}

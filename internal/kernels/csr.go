@@ -43,12 +43,12 @@ func csrRowRangeUnroll4[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) 
 // signature (top-level functions so pool dispatch never allocates).
 //
 //smat:hotpath
-func csrChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func csrChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	csrRowRange(m.CSR, x, y, lo, hi)
 }
 
 //smat:hotpath
-func csrChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func csrChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	csrRowRangeUnroll4(m.CSR, x, y, lo, hi)
 }
 
@@ -70,7 +70,7 @@ func runCSRParallel[T matrix.Float]() runFn[T] {
 			csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -82,7 +82,7 @@ func runCSRParallelUnroll4[T matrix.Float]() runFn[T] {
 			csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -94,7 +94,7 @@ func runCSRParallelNNZ[T matrix.Float]() runFn[T] {
 			csrRowRange(m.CSR, x, y, 0, m.CSR.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -106,6 +106,6 @@ func runCSRParallelNNZUnroll4[T matrix.Float]() runFn[T] {
 			csrRowRangeUnroll4(m.CSR, x, y, 0, m.CSR.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y, 1)
 	}
 }

@@ -1,0 +1,122 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// csrBatchRange computes rows [lo, hi) of Y = A·X for k interleaved
+// right-hand sides. Full tiles of batchTile columns keep four independent
+// accumulators per loaded matrix entry; remainder columns run the scalar
+// loop in csrRowRange's accumulation order, so k=1 is bit-for-bit csr_basic.
+//
+//smat:hotpath
+func csrBatchRange[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		yr := yb[i*k : (i+1)*k]
+		j := 0
+		for ; j+batchTile <= k; j += batchTile {
+			var s0, s1, s2, s3 T
+			for jj := start; jj < end; jj++ {
+				v := vals[jj]
+				xc := xb[colIdx[jj]*k+j:]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+				s2 += v * xc[2]
+				s3 += v * xc[3]
+			}
+			yr[j], yr[j+1], yr[j+2], yr[j+3] = s0, s1, s2, s3
+		}
+		for ; j < k; j++ {
+			var sum T
+			for jj := start; jj < end; jj++ {
+				sum += xb[colIdx[jj]*k+j] * vals[jj]
+			}
+			yr[j] = sum
+		}
+	}
+}
+
+// csrBatchRangeUnroll4 is csrBatchRange with the remainder-column inner
+// product additionally unrolled by four over the nonzeros (csrRowRangeUnroll4's
+// order, so k=1 is bit-for-bit csr_unroll4). Full tiles already carry four
+// independent accumulators across the RHS dimension and stay as they are.
+//
+//smat:hotpath
+func csrBatchRangeUnroll4[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		yr := yb[i*k : (i+1)*k]
+		j := 0
+		for ; j+batchTile <= k; j += batchTile {
+			var s0, s1, s2, s3 T
+			for jj := start; jj < end; jj++ {
+				v := vals[jj]
+				xc := xb[colIdx[jj]*k+j:]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+				s2 += v * xc[2]
+				s3 += v * xc[3]
+			}
+			yr[j], yr[j+1], yr[j+2], yr[j+3] = s0, s1, s2, s3
+		}
+		for ; j < k; j++ {
+			var s0, s1, s2, s3 T
+			jj := start
+			for ; jj+4 <= end; jj += 4 {
+				s0 += xb[colIdx[jj]*k+j] * vals[jj]
+				s1 += xb[colIdx[jj+1]*k+j] * vals[jj+1]
+				s2 += xb[colIdx[jj+2]*k+j] * vals[jj+2]
+				s3 += xb[colIdx[jj+3]*k+j] * vals[jj+3]
+			}
+			for ; jj < end; jj++ {
+				s0 += xb[colIdx[jj]*k+j] * vals[jj]
+			}
+			yr[j] = (s0 + s1) + (s2 + s3)
+		}
+	}
+}
+
+//smat:hotpath
+func csrBatchChunk[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	csrBatchRange(m.CSR, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func csrBatchChunkUnroll4[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	csrBatchRangeUnroll4(m.CSR, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func runCSRBatch[T matrix.Float](m *Mat[T], xb, yb []T, k int, _ exec[T]) {
+	csrBatchRange(m.CSR, xb, yb, k, 0, m.CSR.Rows)
+}
+
+//smat:hotpath
+func runCSRBatchUnroll4[T matrix.Float](m *Mat[T], xb, yb []T, k int, _ exec[T]) {
+	csrBatchRangeUnroll4(m.CSR, xb, yb, k, 0, m.CSR.Rows)
+}
+
+//smat:hotpath-factory
+func runCSRBatchParallel[T matrix.Float]() batchFn[T] {
+	chunk := rangeFn[T](csrBatchChunk[T])
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			csrBatchRange(m.CSR, xb, yb, k, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, xb, yb, k)
+	}
+}
+
+//smat:hotpath-factory
+func runCSRBatchParallelUnroll4[T matrix.Float]() batchFn[T] {
+	chunk := rangeFn[T](csrBatchChunkUnroll4[T])
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			csrBatchRangeUnroll4(m.CSR, xb, yb, k, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, xb, yb, k)
+	}
+}

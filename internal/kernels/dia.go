@@ -99,12 +99,12 @@ func runDIARowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func diaChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func diaChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	diaRowRange(m.DIA, x, y, lo, hi)
 }
 
 //smat:hotpath
-func diaChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func diaChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	diaRowRangeUnroll4(m.DIA, x, y, lo, hi)
 }
 
@@ -116,7 +116,7 @@ func runDIAParallel[T matrix.Float]() runFn[T] {
 			diaRowRange(m.DIA, x, y, 0, m.DIA.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -128,6 +128,6 @@ func runDIAParallelUnroll4[T matrix.Float]() runFn[T] {
 			diaRowRangeUnroll4(m.DIA, x, y, 0, m.DIA.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }

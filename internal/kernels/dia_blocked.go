@@ -46,7 +46,7 @@ func runDIABlocked[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func diaBlockedChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func diaBlockedChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	diaBlockedRange(m.DIA, x, y, lo, hi)
 }
 
@@ -58,6 +58,6 @@ func runDIABlockedParallel[T matrix.Float]() runFn[T] {
 			diaBlockedRange(m.DIA, x, y, 0, m.DIA.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }

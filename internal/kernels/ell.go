@@ -82,12 +82,12 @@ func runELLRowMajor[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func ellChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func ellChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	ellRowRange(m.ELL, x, y, lo, hi)
 }
 
 //smat:hotpath
-func ellChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func ellChunkUnroll4[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	ellRowRangeUnroll4(m.ELL, x, y, lo, hi)
 }
 
@@ -99,7 +99,7 @@ func runELLParallel[T matrix.Float]() runFn[T] {
 			ellRowRange(m.ELL, x, y, 0, m.ELL.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
 
@@ -111,6 +111,6 @@ func runELLParallelUnroll4[T matrix.Float]() runFn[T] {
 			ellRowRangeUnroll4(m.ELL, x, y, 0, m.ELL.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }

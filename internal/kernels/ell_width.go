@@ -52,7 +52,7 @@ func runELLWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func ellWidthChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func ellWidthChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	ellWidthRange(m.ELL, x, y, lo, hi)
 }
 
@@ -64,6 +64,6 @@ func runELLWidthParallel[T matrix.Float]() runFn[T] {
 			ellWidthRange(m.ELL, x, y, 0, m.ELL.Rows)
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }

@@ -31,12 +31,12 @@ func runHYBWidth[T matrix.Float](m *Mat[T], x, y []T, _ exec[T]) {
 }
 
 //smat:hotpath
-func hybELLChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func hybELLChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	ellWidthRange(m.HYB.ELL, x, y, lo, hi)
 }
 
 //smat:hotpath
-func hybCOOChunk[T matrix.Float](m *Mat[T], x, y []T, lo, hi int) {
+func hybCOOChunk[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
 	cooRange(m.HYB.COO, x, y, lo, hi)
 }
 
@@ -51,7 +51,7 @@ func runHYBWidthParallel[T matrix.Float]() runFn[T] {
 			cooRange(h.COO, x, y, 0, h.COO.NNZ())
 			return
 		}
-		ex.dispatch(ex.plan.RowBounds, ellChunk, m, x, y)
+		ex.dispatch(ex.plan.RowBounds, ellChunk, m, x, y, 1)
 		// The COO tail accumulates after the ELL phase completes (the ELL pass
 		// wrote every y element); tail chunks are row-aligned, so the parallel
 		// phase has no write conflicts either.
@@ -59,7 +59,7 @@ func runHYBWidthParallel[T matrix.Float]() runFn[T] {
 			cooRange(h.COO, x, y, 0, h.COO.NNZ())
 			return
 		}
-		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, x, y)
+		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, x, y, 1)
 	}
 }
 
@@ -74,9 +74,21 @@ func hybKernels[T matrix.Float]() []*Kernel[T] {
 	}
 }
 
+// hybBatchKernels returns the batched extension kernels, registered
+// alongside the single-vector ones by RegisterHYB.
+func hybBatchKernels[T matrix.Float]() []*BatchKernel[T] {
+	return []*BatchKernel[T]{
+		{Name: "hyb_batch", Format: matrix.FormatHYB, Strategies: 0, run: runHYBBatch[T]},
+		{Name: "hyb_batch_parallel", Format: matrix.FormatHYB, Strategies: StratParallel, run: runHYBBatchParallel[T]()},
+	}
+}
+
 // RegisterHYB adds the hybrid-format kernels to the library.
 func (l *Library[T]) RegisterHYB() {
 	for _, k := range hybKernels[T]() {
 		l.Register(k)
+	}
+	for _, b := range hybBatchKernels[T]() {
+		l.RegisterBatch(b)
 	}
 }

@@ -1,0 +1,49 @@
+package kernels
+
+import "smat/internal/matrix"
+
+// HYB batched kernels: the ELL part runs the batched row-major loop (writing
+// every yb element), then the COO overflow accumulates on top with the
+// batched COO loop — the same two-phase shape as the single-vector HYB
+// kernels. At k=1 the per-element addition sequence matches hyb_basic
+// (sequential over ELL slots, then tail entries in order), so the batched
+// oracle pins them bit-for-bit.
+
+//smat:hotpath
+func runHYBBatch[T matrix.Float](m *Mat[T], xb, yb []T, k int, _ exec[T]) {
+	h := m.HYB
+	ellBatchRange(h.ELL, xb, yb, k, 0, h.ELL.Rows)
+	cooBatchRange(h.COO, xb, yb, k, 0, h.COO.NNZ())
+}
+
+//smat:hotpath
+func hybELLBatchChunk[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	ellBatchRange(m.HYB.ELL, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func hybCOOBatchChunk[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRange(m.HYB.COO, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath-factory
+func runHYBBatchParallel[T matrix.Float]() batchFn[T] {
+	ellChunk := rangeFn[T](hybELLBatchChunk[T])
+	cooChunk := rangeFn[T](hybCOOBatchChunk[T])
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		h := m.HYB
+		if ex.plan.Serial {
+			ellBatchRange(h.ELL, xb, yb, k, 0, h.ELL.Rows)
+			cooBatchRange(h.COO, xb, yb, k, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, ellChunk, m, xb, yb, k)
+		// As in the single-vector kernel, the COO tail accumulates after the
+		// ELL phase's barrier; tail chunks stay row-aligned.
+		if ex.plan.TailSerial {
+			cooBatchRange(h.COO, xb, yb, k, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, xb, yb, k)
+	}
+}

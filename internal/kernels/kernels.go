@@ -94,6 +94,10 @@ type Mat[T matrix.Float] struct {
 	// plan caches the execution plan (work partition) for the most recent
 	// thread count; see PlanFor.
 	plan atomic.Pointer[Plan]
+	// bplan caches the batched execution plan for the most recent
+	// (threads, batch width) pair; see PlanForBatch. A separate slot keeps
+	// alternating MulVec / MulVecBatch traffic from thrashing one cache.
+	bplan atomic.Pointer[Plan]
 }
 
 // Dims returns the matrix dimensions.
@@ -214,10 +218,12 @@ type exec[T matrix.Float] struct {
 	pool *Pool[T]
 }
 
-// rangeFn is a chunk body: compute the piece of y = A·x covered by work
-// items [lo, hi). Implementations are top-level functions, never closures,
-// so dispatching them through the pool allocates nothing.
-type rangeFn[T matrix.Float] func(m *Mat[T], x, y []T, lo, hi int)
+// rangeFn is a chunk body: compute the piece of Y = A·X covered by work
+// items [lo, hi). k is the batch width (the number of interleaved right-hand
+// sides in x and y); single-vector chunks ignore it. Implementations are
+// top-level functions, never closures, so dispatching them through the pool
+// allocates nothing.
+type rangeFn[T matrix.Float] func(m *Mat[T], x, y []T, k, lo, hi int)
 
 // dispatch runs fn over the plan's chunk bounds: chunk t is
 // [bounds[t], bounds[t+1]). A single chunk runs inline; more fan out through
@@ -225,19 +231,19 @@ type rangeFn[T matrix.Float] func(m *Mat[T], x, y []T, lo, hi int)
 // otherwise.
 //
 //smat:hotpath
-func (ex exec[T]) dispatch(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
+func (ex exec[T]) dispatch(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T, k int) {
 	nchunks := len(bounds) - 1
 	if nchunks < 1 {
 		return
 	}
 	if nchunks == 1 {
-		fn(m, x, y, bounds[0], bounds[1])
+		fn(m, x, y, k, bounds[0], bounds[1])
 		return
 	}
-	if ex.pool != nil && ex.pool.s.tryRun(bounds, fn, m, x, y) {
+	if ex.pool != nil && ex.pool.s.tryRun(bounds, fn, m, x, y, k) {
 		return
 	}
-	spawnChunks(bounds, fn, m, x, y)
+	spawnChunks(bounds, fn, m, x, y, k)
 }
 
 // formatMismatch reports a kernel applied to the wrong format. The message
@@ -284,20 +290,90 @@ func (k *Kernel[T]) RunPooled(m *Mat[T], x, y []T, p *Pool[T]) {
 	k.run(m, x, y, exec[T]{plan: m.PlanFor(p.s.threads), pool: p})
 }
 
+// BatchKernel is one SpMM (multi-vector SpMV) implementation for one format:
+// it computes Y = A·X for k right-hand sides held in the interleaved layout
+// xb[col*k+j] / yb[row*k+j], so the k values per matrix column are contiguous
+// and the inner loop over the RHS tile is a unit-stride streak.
+type BatchKernel[T matrix.Float] struct {
+	Name       string
+	Format     matrix.Format
+	Strategies Strategy
+	run        batchFn[T]
+}
+
+// batchFn is a batched kernel body; like runFn, parallel bodies are built by
+// factories that bind their chunk function values once at registration.
+type batchFn[T matrix.Float] func(m *Mat[T], xb, yb []T, k int, ex exec[T])
+
+// batchFormatMismatch mirrors formatMismatch for batched kernels; kept out of
+// line so the hot Run/RunPooled bodies stay allocation-free.
+//
+//go:noinline
+func batchFormatMismatch[T matrix.Float](b *BatchKernel[T], m *Mat[T]) {
+	panic(fmt.Sprintf("kernels: %s batch kernel %q applied to %s matrix", b.Format, b.Name, m.Format))
+}
+
+// Run computes Y = A·X for k interleaved right-hand sides (yb is fully
+// overwritten). k ≤ 0 is a no-op; threads ≤ 0 selects GOMAXPROCS. The
+// partition comes from the matrix's cached batch plan, whose serial cutoff
+// scales the work estimate by k.
+//
+//smat:hotpath
+func (b *BatchKernel[T]) Run(m *Mat[T], xb, yb []T, k, threads int) {
+	if m.Format != b.Format {
+		batchFormatMismatch(b, m)
+	}
+	if k <= 0 {
+		return
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	b.run(m, xb, yb, k, exec[T]{plan: m.PlanForBatch(threads, k)})
+}
+
+// RunPooled computes Y = A·X for k interleaved right-hand sides on a
+// persistent worker pool — the steady-state batched serving path; the whole
+// dispatch allocates nothing. A nil pool degrades to Run with default
+// threads.
+//
+//smat:hotpath
+func (b *BatchKernel[T]) RunPooled(m *Mat[T], xb, yb []T, k int, p *Pool[T]) {
+	if p == nil {
+		b.Run(m, xb, yb, k, 0)
+		return
+	}
+	if m.Format != b.Format {
+		batchFormatMismatch(b, m)
+	}
+	if k <= 0 {
+		return
+	}
+	b.run(m, xb, yb, k, exec[T]{plan: m.PlanForBatch(p.s.threads, k), pool: p})
+}
+
 // Library is the full kernel collection for one element type.
 type Library[T matrix.Float] struct {
 	byFormat map[matrix.Format][]*Kernel[T]
 	byName   map[string]*Kernel[T]
+
+	batchByFormat map[matrix.Format][]*BatchKernel[T]
+	batchByName   map[string]*BatchKernel[T]
 }
 
 // NewLibrary builds the registry of all kernel implementations.
 func NewLibrary[T matrix.Float]() *Library[T] {
 	l := &Library[T]{
-		byFormat: make(map[matrix.Format][]*Kernel[T]),
-		byName:   make(map[string]*Kernel[T]),
+		byFormat:      make(map[matrix.Format][]*Kernel[T]),
+		byName:        make(map[string]*Kernel[T]),
+		batchByFormat: make(map[matrix.Format][]*BatchKernel[T]),
+		batchByName:   make(map[string]*BatchKernel[T]),
 	}
 	for _, k := range allKernels[T]() {
 		l.Register(k)
+	}
+	for _, b := range allBatchKernels[T]() {
+		l.RegisterBatch(b)
 	}
 	return l
 }
@@ -312,11 +388,58 @@ func (l *Library[T]) Register(k *Kernel[T]) {
 	l.byName[k.Name] = k
 }
 
+// RegisterBatch adds a batched kernel to the library. Batch kernels share
+// the registry's extensibility contract but live in their own namespace
+// (batched selection happens per format, after the single-vector scoreboard
+// has chosen one).
+func (l *Library[T]) RegisterBatch(b *BatchKernel[T]) {
+	if _, dup := l.batchByName[b.Name]; dup {
+		panic(fmt.Sprintf("kernels: duplicate batch kernel %q", b.Name))
+	}
+	l.batchByFormat[b.Format] = append(l.batchByFormat[b.Format], b)
+	l.batchByName[b.Name] = b
+}
+
 // ForFormat returns all kernels registered for a format.
 func (l *Library[T]) ForFormat(f matrix.Format) []*Kernel[T] { return l.byFormat[f] }
 
 // Lookup returns the kernel with the given name, or nil.
 func (l *Library[T]) Lookup(name string) *Kernel[T] { return l.byName[name] }
+
+// ForFormatBatch returns all batched kernels registered for a format.
+func (l *Library[T]) ForFormatBatch(f matrix.Format) []*BatchKernel[T] { return l.batchByFormat[f] }
+
+// LookupBatch returns the batched kernel with the given name, or nil.
+func (l *Library[T]) LookupBatch(name string) *BatchKernel[T] { return l.batchByName[name] }
+
+// BatchFor returns the batched kernel the serving path should use for a
+// format: the variant carrying StratParallel (every one degrades to its
+// serial body below the plan cutoff), falling back to the format's basic
+// batch kernel, or nil when the format has none registered.
+func (l *Library[T]) BatchFor(f matrix.Format) *BatchKernel[T] {
+	var basic *BatchKernel[T]
+	for _, b := range l.batchByFormat[f] {
+		if b.Strategies&StratParallel != 0 {
+			return b
+		}
+		if b.Strategies == 0 {
+			basic = b
+		}
+	}
+	return basic
+}
+
+// BatchNames returns all registered batch kernel names grouped by format
+// order.
+func (l *Library[T]) BatchNames() []string {
+	var names []string
+	for _, f := range matrix.Formats {
+		for _, b := range l.batchByFormat[f] {
+			names = append(names, b.Name)
+		}
+	}
+	return names
+}
 
 // Names returns all registered kernel names grouped by format order.
 func (l *Library[T]) Names() []string {

@@ -17,6 +17,11 @@ const serialWork = 8192
 type Plan struct {
 	// Threads is the effective thread count the partitions target.
 	Threads int
+	// BatchK is the batch width the serial cutoff was evaluated at: plans
+	// built by PlanFor have BatchK 1, batched plans record the width so the
+	// cache slot can be keyed on (Threads, BatchK). The partitions
+	// themselves are width-independent (bounds stay in row/entry units).
+	BatchK int
 	// Serial reports that the estimated work is below the parallel cutoff
 	// (or Threads is 1): parallel kernels take their serial body and the
 	// bounds slices below are nil.
@@ -50,13 +55,35 @@ func (m *Mat[T]) PlanFor(threads int) *Plan {
 	if p := m.plan.Load(); p != nil && p.Threads == threads {
 		return p
 	}
-	p := newPlan(m, threads)
+	p := newPlan(m, threads, 1)
 	m.plan.Store(p)
 	return p
 }
 
-func newPlan[T matrix.Float](m *Mat[T], threads int) *Plan {
-	p := &Plan{Threads: threads}
+// PlanForBatch returns the execution plan for a batched multiply of width k:
+// the same row/entry partitions as PlanFor, but with the serial-cutoff work
+// estimate scaled by k — a matrix too small to parallelise one vector may
+// well clear the cutoff with eight. Widths ≤ 1 share the single-vector plan;
+// wider plans cache in their own slot keyed on (threads, k).
+//
+//smat:hotpath
+func (m *Mat[T]) PlanForBatch(threads, k int) *Plan {
+	if k <= 1 {
+		return m.PlanFor(threads)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if p := m.bplan.Load(); p != nil && p.Threads == threads && p.BatchK == k {
+		return p
+	}
+	p := newPlan(m, threads, k)
+	m.bplan.Store(p)
+	return p
+}
+
+func newPlan[T matrix.Float](m *Mat[T], threads, batchK int) *Plan {
+	p := &Plan{Threads: threads, BatchK: batchK}
 	work := 0
 	switch m.Format {
 	case matrix.FormatCSR:
@@ -72,7 +99,9 @@ func newPlan[T matrix.Float](m *Mat[T], threads int) *Plan {
 	case matrix.FormatBCSR:
 		work = len(m.BCSR.Blocks)
 	}
-	if threads <= 1 || work < serialWork {
+	// A batched multiply does k times the work per stored entry, so the
+	// cutoff compares against the scaled estimate.
+	if threads <= 1 || work*batchK < serialWork {
 		p.Serial = true
 		return p
 	}
@@ -88,7 +117,7 @@ func newPlan[T matrix.Float](m *Mat[T], threads int) *Plan {
 		p.RowBounds = evenBounds(m.ELL.Rows, threads)
 	case matrix.FormatHYB:
 		p.RowBounds = evenBounds(m.HYB.ELL.Rows, threads)
-		if m.HYB.COO.NNZ() < serialWork {
+		if m.HYB.COO.NNZ()*batchK < serialWork {
 			p.TailSerial = true
 		} else {
 			p.EntryBounds = cooBounds(m.HYB.COO, threads)

@@ -38,6 +38,7 @@ type poolState[T matrix.Float] struct {
 	fn      rangeFn[T]
 	mat     *Mat[T]
 	x, y    []T
+	k       int
 	bounds  []int
 	pending atomic.Int32
 	wake    []chan struct{}
@@ -84,7 +85,7 @@ func (s *poolState[T]) shutdown() {
 // when the pool is busy with another SpMV or closed (the caller then falls
 // back to spawning). The dispatching goroutine computes chunk 0 itself and
 // blocks on the completion barrier. The whole dispatch allocates nothing.
-func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) bool {
+func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T, k int) bool {
 	if !s.mu.TryLock() {
 		return false
 	}
@@ -96,12 +97,12 @@ func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) 
 	if !s.started {
 		s.start()
 	}
-	s.fn, s.mat, s.x, s.y, s.bounds = fn, m, x, y, bounds
+	s.fn, s.mat, s.x, s.y, s.k, s.bounds = fn, m, x, y, k, bounds
 	s.pending.Store(int32(nchunks - 1))
 	for w := 0; w < nchunks-1; w++ {
 		s.wake[w] <- struct{}{}
 	}
-	fn(m, x, y, bounds[0], bounds[1])
+	fn(m, x, y, k, bounds[0], bounds[1])
 	<-s.done
 	s.fn, s.mat, s.x, s.y, s.bounds = nil, nil, nil, nil, nil
 	return true
@@ -130,7 +131,7 @@ func (s *poolState[T]) worker(i int) {
 		case <-s.stop:
 			return
 		case <-s.wake[i]:
-			s.fn(s.mat, s.x, s.y, s.bounds[i+1], s.bounds[i+2])
+			s.fn(s.mat, s.x, s.y, s.k, s.bounds[i+1], s.bounds[i+2])
 			if s.pending.Add(-1) == 0 {
 				s.done <- struct{}{}
 			}
@@ -141,16 +142,16 @@ func (s *poolState[T]) worker(i int) {
 // spawnChunks is the pool-less dispatch: one fresh goroutine per chunk
 // beyond the caller's, joined on a WaitGroup — the pre-engine execution
 // path, kept for Kernel.Run and as the overflow path when the pool is busy.
-func spawnChunks[T matrix.Float](bounds []int, fn rangeFn[T], m *Mat[T], x, y []T) {
+func spawnChunks[T matrix.Float](bounds []int, fn rangeFn[T], m *Mat[T], x, y []T, k int) {
 	nchunks := len(bounds) - 1
 	var wg sync.WaitGroup
 	wg.Add(nchunks - 1)
 	for t := 1; t < nchunks; t++ {
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(m, x, y, lo, hi)
+			fn(m, x, y, k, lo, hi)
 		}(bounds[t], bounds[t+1])
 	}
-	fn(m, x, y, bounds[0], bounds[1])
+	fn(m, x, y, k, bounds[0], bounds[1])
 	wg.Wait()
 }

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smat/internal/kernels"
+	"smat/internal/matrix"
+)
+
+// batchWidths is the batch-width sweep every CheckBatch run walks: the
+// degenerate widths (0 = no-op, 1 = single-vector equivalence), widths
+// straddling the register tile (5, 7), and full multiples of it.
+var batchWidths = []int{0, 1, 2, 5, 7, 8}
+
+// xBatch builds k deterministic input columns, phase-shifted per column so a
+// kernel mixing up batch lanes produces a visibly different product, and
+// packs them into the interleaved layout (xb[c*k+j] = column j, element c).
+func xBatch[T matrix.Float](cols, k int) (xb []T, cols64 [][]float64) {
+	xb = make([]T, cols*k)
+	cols64 = make([][]float64, k)
+	for j := 0; j < k; j++ {
+		cols64[j] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			v := float64(((c+5*j)*13)%31-15) / 8
+			if v == 0 {
+				v = 0.375
+			}
+			xb[c*k+j] = T(v)
+			cols64[j][c] = float64(T(v))
+		}
+	}
+	return xb, cols64
+}
+
+// CheckBatch runs the differential suite over the batched (multi-vector)
+// kernels for one spec: for every format that converts within the fill
+// bound and every registered batch kernel of that format, each column of
+// the serial batched product is checked against an independent float64
+// reference SpMV of that input column, and the spawned and pooled parallel
+// paths must agree with the serial batched result bit for bit at every
+// thread count. Width 0 must be a no-op and width 1 must satisfy the same
+// per-column bound as any other width. The returned Coverage reports which
+// batch kernels executed and which ran genuinely partitioned plans.
+func CheckBatch[T matrix.Float](lib *kernels.Library[T], s *Spec, opt Options) (*Coverage, error) {
+	opt = opt.withDefaults()
+	cov := NewCoverage()
+
+	ref, err := BuildCSR[T](s)
+	if err != nil {
+		return cov, err
+	}
+	eps := epsOf[T]() * opt.TolScale
+
+	// Per-column float64 references, shared across formats and kernels.
+	maxK := 0
+	for _, k := range batchWidths {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	_, cols64 := xBatch[T](s.Cols, maxK)
+	want := make([][]float64, maxK)
+	absSum := make([][]float64, maxK)
+	for j := 0; j < maxK; j++ {
+		if want[j], absSum[j], err = reference(s, cols64[j]); err != nil {
+			return cov, err
+		}
+	}
+
+	pools := make(map[int]*kernels.Pool[T], len(opt.Threads))
+	for _, th := range opt.Threads {
+		if _, ok := pools[th]; !ok {
+			pools[th] = kernels.NewPool[T](th)
+		}
+	}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+
+	for _, f := range checkFormats {
+		mat, err := kernels.Convert(ref, f, opt.MaxFill)
+		if errors.Is(err, matrix.ErrFillExplosion) {
+			continue
+		}
+		if err != nil {
+			return cov, fmt.Errorf("oracle: %s/%s: convert: %w", s.Name, f, err)
+		}
+		cov.Formats[f] = true
+		for _, bk := range lib.ForFormatBatch(f) {
+			if err := checkBatchKernel(bk, mat, ref, want, absSum, eps, opt, pools, cov, s.Name); err != nil {
+				return cov, err
+			}
+		}
+	}
+	return cov, nil
+}
+
+// checkBatchKernel runs one batch kernel through the width sweep.
+func checkBatchKernel[T matrix.Float](bk *kernels.BatchKernel[T], mat *kernels.Mat[T], ref *matrix.CSR[T],
+	want, absSum [][]float64, eps float64, opt Options,
+	pools map[int]*kernels.Pool[T], cov *Coverage, spec string) error {
+
+	cov.Kernels[bk.Name] = true
+	rows := ref.Rows
+
+	for _, k := range batchWidths {
+		if k == 0 {
+			// Width 0: no output element may be touched.
+			sentinel := []T{42, 42, 42}
+			bk.Run(mat, nil, sentinel[:0], 0, 2)
+			bk.RunPooled(mat, nil, sentinel[:0], 0, pools[opt.Threads[0]])
+			for i, v := range sentinel {
+				if v != 42 {
+					return fmt.Errorf("oracle: %s/%s: k=0 wrote output[%d]", spec, bk.Name, i)
+				}
+			}
+			continue
+		}
+		xb, _ := xBatch[T](ref.Cols, k)
+
+		ySerial := runNaN(func(yb []T) { bk.Run(mat, xb, yb, k, 1) }, rows*k)
+
+		// Property 1 (batched): column j of the serial product within the
+		// per-row rounding bound of that column's float64 reference.
+		for j := 0; j < k; j++ {
+			for r := 0; r < rows; r++ {
+				got := float64(ySerial[r*k+j])
+				if math.IsNaN(got) {
+					return fmt.Errorf("oracle: %s/%s: k=%d y[%d][col %d] unwritten (NaN sentinel survived)",
+						spec, bk.Name, k, r, j)
+				}
+				deg := ref.RowDegree(r)
+				if diff := math.Abs(got - want[j][r]); diff > rowTolerance(eps, deg, absSum[j][r], want[j][r]) {
+					return fmt.Errorf("oracle: %s/%s: k=%d y[%d][col %d] = %g, reference %g (|diff| %g > tol %g, deg %d)",
+						spec, bk.Name, k, r, j, got, want[j][r], diff,
+						rowTolerance(eps, deg, absSum[j][r], want[j][r]), deg)
+				}
+			}
+		}
+
+		// Property 3 (batched): spawned and pooled execution agree with the
+		// serial batched result bit for bit at every thread count.
+		for _, th := range opt.Threads {
+			ySpawn := runNaN(func(yb []T) { bk.Run(mat, xb, yb, k, th) }, rows*k)
+			if i, ok := bitMismatch(ySerial, ySpawn); ok {
+				return fmt.Errorf("oracle: %s/%s: k=%d spawned run at %d threads differs from serial at yb[%d]: %g vs %g",
+					spec, bk.Name, k, th, i, float64(ySpawn[i]), float64(ySerial[i]))
+			}
+			yPooled := runNaN(func(yb []T) { bk.RunPooled(mat, xb, yb, k, pools[th]) }, rows*k)
+			if i, ok := bitMismatch(ySerial, yPooled); ok {
+				return fmt.Errorf("oracle: %s/%s: k=%d pooled run at %d threads differs from serial at yb[%d]: %g vs %g",
+					spec, bk.Name, k, th, i, float64(yPooled[i]), float64(ySerial[i]))
+			}
+			if th > 1 && !mat.PlanForBatch(th, k).Serial {
+				cov.Parallel[bk.Name] = true
+			}
+		}
+	}
+	return nil
+}

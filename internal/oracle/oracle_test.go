@@ -63,6 +63,38 @@ func runSuite[T matrix.Float](t *testing.T) {
 func TestOracleSuiteFloat64(t *testing.T) { runSuite[float64](t) }
 func TestOracleSuiteFloat32(t *testing.T) { runSuite[float32](t) }
 
+// runBatchSuite is the batched analogue: every spec through CheckBatch,
+// then the same reach assertions over the batch-kernel registry — every
+// registered batch kernel executed at every width, and every parallel batch
+// kernel ran a genuinely partitioned plan somewhere in the sweep.
+func runBatchSuite[T matrix.Float](t *testing.T) {
+	lib := fullLibrary[T]()
+	cov := NewCoverage()
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c, err := CheckBatch(lib, &s, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cov.Merge(c)
+		})
+	}
+	for _, f := range allFormats {
+		for _, bk := range lib.ForFormatBatch(f) {
+			if !cov.Kernels[bk.Name] {
+				t.Errorf("batch kernel %s never executed", bk.Name)
+			}
+			if bk.Strategies&kernels.StratParallel != 0 && !cov.Parallel[bk.Name] {
+				t.Errorf("parallel batch kernel %s never ran a partitioned plan", bk.Name)
+			}
+		}
+	}
+}
+
+func TestOracleBatchSuiteFloat64(t *testing.T) { runBatchSuite[float64](t) }
+func TestOracleBatchSuiteFloat32(t *testing.T) { runBatchSuite[float32](t) }
+
 func TestCheckRejectsOutOfRangeSpec(t *testing.T) {
 	s := &Spec{Name: "bad", Rows: 2, Cols: 2,
 		Triples: []matrix.Triple[float64]{{Row: 5, Col: 0, Val: 1}}}

@@ -297,6 +297,42 @@ func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
 	return nil
 }
 
+// CSRSpMVBatch computes Y = A·X for k right-hand sides at once, the batched
+// companion of CSRSpMV. The vectors are interleaved: column c of X occupies
+// xb[c*k : (c+1)*k] and row r of Y occupies yb[r*k : (r+1)*k], so xb must
+// have length Cols·k and yb length Rows·k (use Batch to pack and unpack
+// ordinary []T vectors). The matrix is tuned on first use exactly as in
+// CSRSpMV; the batched product then runs either the format's register-tiled
+// SpMM kernel or a loop over the single-vector kernel, whichever side of the
+// measured crossover k falls on (see Decision.BatchCrossover). k = 0 is a
+// no-op; a negative k, mis-sized buffers, or xb/yb sharing memory return an
+// error before any kernel runs.
+func (t *Tuner[T]) CSRSpMVBatch(a *Matrix[T], xb, yb []T, k int) error {
+	if k < 0 {
+		return fmt.Errorf("smat: CSRSpMVBatch with negative batch width %d", k)
+	}
+	rows, cols := a.Dims()
+	if len(xb) != cols*k || len(yb) != rows*k {
+		return fmt.Errorf("smat: CSRSpMVBatch on %dx%d matrix with k=%d needs |xb|=%d |yb|=%d, got %d and %d",
+			rows, cols, k, cols*k, rows*k, len(xb), len(yb))
+	}
+	if matrix.SlicesOverlap(xb, yb) {
+		return fmt.Errorf("smat: CSRSpMVBatch xb and yb share memory; SpMV reads X while writing Y")
+	}
+	if k == 0 {
+		return nil
+	}
+	s := a.tuned.Load()
+	if s == nil || s.owner != t {
+		var err error
+		if s, err = a.tuneOnce(t); err != nil {
+			return err
+		}
+	}
+	s.op.MulVecBatch(xb, yb, k)
+	return nil
+}
+
 // tuneOnce tunes a for t under the handle's mutex, so concurrent first
 // uses of one matrix run exactly one tuning pass instead of racing.
 func (a *Matrix[T]) tuneOnce(t *Tuner[T]) (*tunedSlot[T], error) {
@@ -335,6 +371,16 @@ type Operator[T Float] struct {
 // the error-returning entry point is Tuner.CSRSpMV.
 func (o *Operator[T]) MulVec(x, y []T) { o.op.MulVec(x, y) }
 
+// MulVecBatch computes Y = A·X for k interleaved right-hand sides: xb holds
+// column c of X at xb[c*k : (c+1)*k] and yb receives row r of Y at
+// yb[r*k : (r+1)*k] (see Batch for packing helpers). Batches at or above the
+// measured crossover width run the format's register-tiled SpMM kernel; the
+// rest loop the tuned single-vector kernel. Like MulVec this is the
+// steady-state path — repeated calls allocate nothing — and panics on a
+// negative k, mis-sized buffers, or overlapping xb/yb; the error-returning
+// entry point is Tuner.CSRSpMVBatch.
+func (o *Operator[T]) MulVecBatch(xb, yb []T, k int) { o.op.MulVecBatch(xb, yb, k) }
+
 // Format returns the chosen storage format.
 func (o *Operator[T]) Format() Format { return o.op.Format() }
 
@@ -345,16 +391,22 @@ func (o *Operator[T]) KernelName() string { return o.op.KernelName() }
 // cache provenance, fallback measurements, overhead accounting).
 func (o *Operator[T]) Decision() Decision {
 	return Decision{
-		Predicted:    o.dec.Predicted,
-		PredictedOK:  o.dec.PredictedOK,
-		Confidence:   o.dec.Confidence,
-		UsedFallback: o.dec.UsedFallback,
-		CacheHit:     o.dec.CacheHit,
-		Chosen:       o.dec.Chosen,
-		Kernel:       o.dec.Kernel,
-		Overhead:     o.dec.Overhead(),
+		Predicted:      o.dec.Predicted,
+		PredictedOK:    o.dec.PredictedOK,
+		Confidence:     o.dec.Confidence,
+		UsedFallback:   o.dec.UsedFallback,
+		CacheHit:       o.dec.CacheHit,
+		Chosen:         o.dec.Chosen,
+		Kernel:         o.dec.Kernel,
+		BatchCrossover: o.dec.BatchCrossover,
+		Overhead:       o.dec.Overhead(),
 	}
 }
+
+// NeverBatch is the Decision.BatchCrossover sentinel recorded when the tiled
+// SpMM kernel lost to looping the single-vector kernel at every measured
+// batch width: MulVecBatch always takes the loop path.
+const NeverBatch = autotune.NeverBatch
 
 // Decision summarises how SMAT chose the operator's format. Exactly one of
 // three paths produced it: a confident model prediction (PredictedOK, no
@@ -384,6 +436,11 @@ type Decision struct {
 	// of the implementation bound to it.
 	Chosen Format
 	Kernel string
+	// BatchCrossover is the measured batch width at or above which
+	// MulVecBatch runs the register-tiled SpMM kernel instead of looping the
+	// single-vector kernel. It is NeverBatch when the loop won at every
+	// probed width and 0 when the chosen format has no batched kernel.
+	BatchCrossover int
 	// Overhead is the total decision cost in multiples of one basic
 	// CSR-SpMV execution (the paper's Table 3 unit). Cache hits skip the
 	// baseline measurement, so their Overhead is reported as 0.
