@@ -14,6 +14,9 @@ import "fmt"
 //	yb := smat.NewBatch[float64](rows, xb.Width())
 //	tuner.CSRSpMVBatch(a, xb.Data(), yb.Data(), xb.Width())
 //	cols := yb.Unpack()                       // k result vectors
+//
+// CSRSpMVBatch accepts the same per-call TuneOptions as CSRSpMV; a batch of
+// width k counts as k SpMVs against a WithIterations hint.
 type Batch[T Float] struct {
 	data []T
 	n, k int

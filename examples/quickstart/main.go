@@ -39,12 +39,16 @@ func main() {
 	tuner := smat.NewTuner[float64](smat.HeuristicModel())
 
 	// The paper's SMAT_dCSR_SpMV: y = A·x with automatic format selection.
+	// WithIterations tells the tuner how many SpMVs this matrix is expected
+	// to serve, so the cost of converting out of CSR is weighed against the
+	// remaining work rather than assumed free (leave it off to tune
+	// asymptotically).
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = 1
 	}
 	y := make([]float64, n)
-	if err := tuner.CSRSpMV(a, x, y); err != nil {
+	if err := tuner.CSRSpMV(a, x, y, smat.WithIterations(500)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -56,6 +60,12 @@ func main() {
 		fmt.Printf("decided by model prediction with confidence %.2f\n", d.Confidence)
 	} else {
 		fmt.Printf("decided by execute-and-measure fallback\n")
+	}
+	if d.Asymptotic != d.Chosen {
+		fmt.Printf("hint of %d SpMVs kept tuned CSR: %s breaks even at %d\n",
+			d.IterationHint, d.Asymptotic, d.BreakEvenIters)
+	} else if d.BreakEvenIters > 0 {
+		fmt.Printf("conversion to %s breaks even after %d SpMVs\n", d.Chosen, d.BreakEvenIters)
 	}
 	// For the interior rows of this operator, (A·1)_i = -1 + 2 - 1 = 0.
 	fmt.Printf("y[0]=%g y[1]=%g ... y[n-1]=%g\n", y[0], y[1], y[n-1])

@@ -38,7 +38,7 @@ func TestMulVecBatchMatchesColumnwise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if op.batch == nil {
+		if op.eng.Load().batch == nil {
 			t.Fatalf("%v: no batch kernel bound", f)
 		}
 		if d.BatchCrossover == 0 {
@@ -52,7 +52,7 @@ func TestMulVecBatchMatchesColumnwise(t *testing.T) {
 				op.MulVec(xs[j], want[j])
 			}
 			for _, crossover := range []int{2, NeverBatch} { // tiled path, loop path
-				op.batchCrossover = crossover
+				op.eng.Load().batchCrossover = crossover
 				yb := make([]float64, m.Rows*k)
 				op.MulVecBatch(xb, yb, k)
 				for j := 0; j < k; j++ {
@@ -88,8 +88,8 @@ func TestMulVecBatchCrossoverRecorded(t *testing.T) {
 	if !valid {
 		t.Errorf("BatchCrossover = %d, want a probe width or NeverBatch", d.BatchCrossover)
 	}
-	if op.batchCrossover != d.BatchCrossover {
-		t.Errorf("operator crossover %d differs from decision %d", op.batchCrossover, d.BatchCrossover)
+	if op.eng.Load().batchCrossover != d.BatchCrossover {
+		t.Errorf("operator crossover %d differs from decision %d", op.eng.Load().batchCrossover, d.BatchCrossover)
 	}
 	if d.BatchProbeSec <= 0 {
 		t.Errorf("BatchProbeSec = %g, want > 0", d.BatchProbeSec)
@@ -123,9 +123,9 @@ func TestCacheHitReusesCrossover(t *testing.T) {
 	if want < 2 {
 		want = defaultBatchCrossover
 	}
-	if op2.batchCrossover != want || d2.BatchCrossover != want {
+	if op2.eng.Load().batchCrossover != want || d2.BatchCrossover != want {
 		t.Errorf("cache hit crossover = %d (decision %d), want %d",
-			op2.batchCrossover, d2.BatchCrossover, want)
+			op2.eng.Load().batchCrossover, d2.BatchCrossover, want)
 	}
 	_ = op1
 }
@@ -194,7 +194,7 @@ func TestMulVecBatchZeroAlloc(t *testing.T) {
 		_, xb := batchInput(m.Cols, k)
 		yb := make([]float64, m.Rows*k)
 		for _, crossover := range []int{2, NeverBatch} { // tiled path, loop path
-			op.batchCrossover = crossover
+			op.eng.Load().batchCrossover = crossover
 			op.MulVecBatch(xb, yb, k) // warm: plan, workers, loop scratch
 			if allocs := testing.AllocsPerRun(20, func() { op.MulVecBatch(xb, yb, k) }); allocs != 0 {
 				t.Errorf("k=%d crossover=%d: %.1f allocs per steady-state call, want 0", k, crossover, allocs)

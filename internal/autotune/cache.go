@@ -32,6 +32,17 @@ type CacheEntry struct {
 	// Decision.BatchCrossover); cache hits reuse it instead of re-probing.
 	// Zero means the probe never ran — appliers substitute a default.
 	BatchCrossover int
+	// ConvertSec, SpMVSec and IncumbentSec are the leader's amortisation
+	// measurements: seconds to convert the leader's matrix to Format, the
+	// converted operator's per-SpMV seconds, and the tuned-CSR incumbent's
+	// per-SpMV seconds. Hits carrying an iteration hint recompute the
+	// break-even point from these instead of re-measuring; a non-CSR entry
+	// recorded without them (all zero) fails hint validation and is
+	// re-tuned (see Tuner.TuneOpts). All three are zero when Format is CSR —
+	// there is nothing to amortise.
+	ConvertSec   float64
+	SpMVSec      float64
+	IncumbentSec float64
 }
 
 // CacheStats is a point-in-time snapshot of the decision cache counters.
@@ -131,19 +142,30 @@ func (c *Cache) perShardCap() int {
 // Errors from tune are returned to the leader and never cached; waiters on
 // a failed run retry as leaders of their own tuning run.
 func (c *Cache) Do(key features.Key, refreshBelow float64, tune func() (CacheEntry, error)) (CacheEntry, bool, error) {
+	return c.DoValidated(key, refreshBelow, nil, tune)
+}
+
+// DoValidated is Do with an extra acceptance predicate: a cached entry that
+// fails valid is treated exactly like a stale low-confidence entry — dropped
+// (counted as a refresh) and re-tuned. A nil valid accepts everything. The
+// tuner uses this to reject entries that lack the amortisation measurements
+// an iteration-hinted request needs, keeping the cache keyed purely by the
+// structural fingerprint while still validating hits against the hint.
+func (c *Cache) DoValidated(key features.Key, refreshBelow float64, valid func(CacheEntry) bool, tune func() (CacheEntry, error)) (CacheEntry, bool, error) {
 	s := c.shard(key)
 	for {
 		s.mu.Lock()
 		if el, ok := s.entries[key]; ok {
 			n := el.Value.(*cacheNode)
-			if n.entry.Measured || n.entry.Confidence >= refreshBelow {
+			if (n.entry.Measured || n.entry.Confidence >= refreshBelow) && (valid == nil || valid(n.entry)) {
 				s.lru.MoveToFront(el)
 				entry := n.entry
 				s.mu.Unlock()
 				c.hits.Add(1)
 				return entry, true, nil
 			}
-			// Stale low-confidence entry: drop it and re-tune below.
+			// Stale low-confidence (or validation-failing) entry: drop it and
+			// re-tune below.
 			s.lru.Remove(el)
 			delete(s.entries, key)
 			c.refreshes.Add(1)
@@ -153,6 +175,12 @@ func (c *Cache) Do(key features.Key, refreshBelow float64, tune func() (CacheEnt
 			<-f.done
 			if f.err != nil {
 				// The leader failed on its matrix; run our own tuning pass.
+				continue
+			}
+			if valid != nil && !valid(f.entry) {
+				// The leader's entry does not satisfy this caller's needs
+				// (e.g. it was inserted by a Put without cost measurements);
+				// loop back and refresh it as leader.
 				continue
 			}
 			c.shared.Add(1)

@@ -33,9 +33,48 @@ type Decision struct {
 	// Confidence describe the cached entry.
 	CacheHit bool
 
-	// Chosen is the final format; Kernel the implementation name.
+	// Chosen is the format the returned operator serves (or, for a pending
+	// background conversion, will serve once the swap lands); Kernel the
+	// implementation name.
 	Chosen matrix.Format
 	Kernel string
+
+	// IterationHint is the caller's expected number of remaining SpMVs
+	// (TuneOptions.Iterations); 0 when the caller gave none, in which case
+	// the decision is the paper's asymptotic one and the amortisation fields
+	// below are purely informational.
+	IterationHint int
+
+	// Asymptotic is the format tuning would choose if the matrix lived
+	// forever, i.e. with conversion cost fully amortised. Chosen differs from
+	// it only when the iteration hint made converting uneconomical.
+	Asymptotic matrix.Format
+
+	// BreakEvenIters is the number of SpMVs at which converting to Asymptotic
+	// pays off against serving tuned CSR: conversion is worth it for
+	// IterationHint ≥ BreakEvenIters. It is 0 when Asymptotic is CSR (there
+	// is nothing to pay off, or the probe did not run) and NeverAmortize when
+	// the converted format never beats the CSR incumbent.
+	BreakEvenIters int
+
+	// Amortized reports that the iteration hint overrode the asymptotic
+	// winner: the operator serves tuned CSR because IterationHint SpMVs
+	// cannot pay for the conversion.
+	Amortized bool
+
+	// Converted reports that the returned operator was already materialised
+	// in its final (Chosen) format when tuning returned. It is false only
+	// while a background conversion is pending — see
+	// Operator.ConversionState.
+	Converted bool
+
+	// ChosenSpMVSec and IncumbentSec are the per-SpMV seconds of the chosen
+	// format and of the tuned-CSR incumbent — the two rates of the payoff
+	// model behind BreakEvenIters. ConvertStored is the number of element
+	// slots the conversion wrote (the work term conversion time scales with).
+	ChosenSpMVSec float64
+	IncumbentSec  float64
+	ConvertStored int
 
 	// BatchCrossover is the measured batch width at or above which the tiled
 	// SpMM kernel beats looping the single-vector kernel over the right-hand
@@ -44,11 +83,16 @@ type Decision struct {
 	// chosen format has no batched kernel registered.
 	BatchCrossover int
 
-	// Timing breakdown (seconds).
+	// Timing breakdown (seconds). ConvertSec is the measured conversion time
+	// on paths that converted inline, and the cached leader's measurement on
+	// the background-conversion path (where it is excluded from Overhead —
+	// the worker pays it off the caller's critical path). AmortProbeSec is
+	// the cost of the per-SpMV rate probes behind BreakEvenIters.
 	FeatureSec    float64
 	ConvertSec    float64
 	FallbackSec   float64
 	BatchProbeSec float64
+	AmortProbeSec float64
 	CSRSpMVSec    float64
 }
 
@@ -58,26 +102,67 @@ func (d *Decision) Overhead() float64 {
 	if d.CSRSpMVSec <= 0 {
 		return 0
 	}
-	return (d.FeatureSec + d.ConvertSec + d.FallbackSec + d.BatchProbeSec) / d.CSRSpMVSec
+	convert := d.ConvertSec
+	if !d.Converted && d.CacheHit {
+		// Background conversion: the worker pays ConvertSec off the caller's
+		// critical path, so it is not part of the caller-visible overhead.
+		convert = 0
+	}
+	return (d.FeatureSec + convert + d.FallbackSec + d.BatchProbeSec + d.AmortProbeSec) / d.CSRSpMVSec
+}
+
+// engine is the swappable execution state of an Operator: the matrix
+// materialised in one format, bound to that format's kernels and measured
+// batch crossover. The background conversion worker builds a new engine off
+// to the side and publishes it with a single atomic store; calls already in
+// flight keep the engine they loaded, so a swap can never tear a running
+// SpMV.
+type engine[T matrix.Float] struct {
+	mat    *kernels.Mat[T]
+	kernel *kernels.Kernel[T]
+
+	// batch is the format's tiled SpMM kernel (nil when none is registered)
+	// and batchCrossover the width at which it starts beating the
+	// loop-over-vectors path; see MulVecBatch.
+	batch          *kernels.BatchKernel[T]
+	batchCrossover int
+
+	// scratch is the loop path's reusable gather/scatter buffer pair,
+	// detached (Swap) while in use so concurrent calls never share it. It
+	// lives on the engine, not the operator: an in-flight MulVecBatch parks
+	// its scratch back on the engine it ran on, so an operator swap can
+	// neither hand one format's buffers to another nor strand a detached
+	// pair on a still-running call.
+	scratch atomic.Pointer[batchScratch[T]]
 }
 
 // Operator is a tuned SpMV: the matrix materialised in its chosen format
 // bound to its chosen kernel and the tuner's persistent worker pool. It is
 // what SMAT_xCSR_SpMV hands back.
+//
+// The execution state lives behind one atomic engine pointer so a background
+// conversion (see TuneOptions.Iterations) can swap the serving format
+// mid-stream: every call loads the engine once and runs it to completion,
+// concurrent with but never torn by a swap.
 type Operator[T matrix.Float] struct {
-	mat    *kernels.Mat[T]
-	kernel *kernels.Kernel[T]
-	pool   *kernels.Pool[T]
-	nnz    int
+	eng  atomic.Pointer[engine[T]]
+	pool *kernels.Pool[T]
+	nnz  int
 
-	// batch is the format's tiled SpMM kernel (nil when none is registered)
-	// and batchCrossover the measured width at which it starts beating the
-	// loop-over-vectors path; see MulVecBatch.
-	batch          *kernels.BatchKernel[T]
-	batchCrossover int
-	// scratch is the loop path's reusable gather/scatter buffer pair,
-	// detached (Swap) while in use so concurrent calls never share it.
-	scratch atomic.Pointer[batchScratch[T]]
+	// convState tracks the background-conversion lifecycle (ConversionState
+	// values); convDone is closed by the worker once the swap — or its
+	// failure — is final. convDone is nil for operators born in their final
+	// format.
+	convState atomic.Int32
+	convDone  chan struct{}
+}
+
+// newOperator wraps a materialised matrix and kernel in an operator whose
+// engine pointer is already published.
+func newOperator[T matrix.Float](mat *kernels.Mat[T], k *kernels.Kernel[T], pool *kernels.Pool[T], nnz int) *Operator[T] {
+	op := &Operator[T]{pool: pool, nnz: nnz}
+	op.eng.Store(&engine[T]{mat: mat, kernel: k})
+	return op
 }
 
 // MulVec computes y = A·x on the steady-state execution path: the work
@@ -92,7 +177,8 @@ type Operator[T matrix.Float] struct {
 //smat:hotpath
 func (o *Operator[T]) MulVec(x, y []T) {
 	checkOverlap(x, y)
-	o.kernel.RunPooled(o.mat, x, y, o.pool)
+	e := o.eng.Load()
+	e.kernel.RunPooled(e.mat, x, y, o.pool)
 }
 
 // NeverBatch is the BatchCrossover sentinel recorded when the tiled SpMM
@@ -123,7 +209,8 @@ func (o *Operator[T]) MulVecBatch(xb, yb []T, k int) {
 	if k == 0 {
 		return
 	}
-	rows, cols := o.mat.Dims()
+	e := o.eng.Load()
+	rows, cols := e.mat.Dims()
 	if len(xb) != cols*k || len(yb) != rows*k {
 		batchShapeMismatch(rows, cols, len(xb), len(yb), k)
 	}
@@ -131,30 +218,33 @@ func (o *Operator[T]) MulVecBatch(xb, yb []T, k int) {
 	if k == 1 {
 		// A width-1 interleaved batch is a plain vector: the tuned kernel
 		// computes it bit-for-bit, with no pack/unpack detour.
-		o.kernel.RunPooled(o.mat, xb, yb, o.pool)
+		e.kernel.RunPooled(e.mat, xb, yb, o.pool)
 		return
 	}
-	if o.batch != nil && k >= o.batchCrossover {
-		o.batch.RunPooled(o.mat, xb, yb, k, o.pool)
+	if e.batch != nil && k >= e.batchCrossover {
+		e.batch.RunPooled(e.mat, xb, yb, k, o.pool)
 		return
 	}
-	o.loopVectors(xb, yb, k)
+	o.loopVectors(e, xb, yb, k)
 }
 
 // batchScratch is the loop-over-vectors gather/scatter buffer pair. It is
-// cached on the operator after the first loop-path call: AllocsPerRun-style
-// steady-state accounting sees zero allocations.
+// cached on the serving engine after the first loop-path call:
+// AllocsPerRun-style steady-state accounting sees zero allocations.
 type batchScratch[T matrix.Float] struct {
 	x, y []T
 }
 
 // loopVectors is MulVecBatch's small-k path: gather each RHS column from the
 // interleaved buffer, run the tuned single-vector kernel, scatter the result
-// back. The scratch pair is detached from the operator while in use, so a
-// concurrent call allocates its own instead of corrupting the product.
-func (o *Operator[T]) loopVectors(xb, yb []T, k int) {
-	rows, cols := o.mat.Dims()
-	s := o.scratch.Swap(nil)
+// back. The scratch pair is detached from the engine while in use, so a
+// concurrent call allocates its own instead of corrupting the product — and
+// it is parked back on the engine it was taken from, so an operator swap
+// mid-call neither races these buffers nor strands them: a superseded
+// engine's scratch is garbage-collected with the engine itself.
+func (o *Operator[T]) loopVectors(e *engine[T], xb, yb []T, k int) {
+	rows, cols := e.mat.Dims()
+	s := e.scratch.Swap(nil)
 	if s == nil {
 		s = &batchScratch[T]{x: make([]T, cols), y: make([]T, rows)}
 	}
@@ -163,12 +253,12 @@ func (o *Operator[T]) loopVectors(xb, yb []T, k int) {
 		for c := 0; c < cols; c++ {
 			x[c] = xb[c*k+j]
 		}
-		o.kernel.RunPooled(o.mat, x, y, o.pool)
+		e.kernel.RunPooled(e.mat, x, y, o.pool)
 		for r := 0; r < rows; r++ {
 			yb[r*k+j] = y[r]
 		}
 	}
-	o.scratch.Store(s)
+	e.scratch.Store(s)
 }
 
 // checkOverlap rejects an x/y pair sharing memory. The address comparison
@@ -202,17 +292,19 @@ func batchShapeMismatch(rows, cols, lx, ly, k int) {
 		rows, cols, k, cols*k, rows*k, lx, ly))
 }
 
-// Format returns the storage format the tuner chose.
-func (o *Operator[T]) Format() matrix.Format { return o.mat.Format }
+// Format returns the storage format the operator currently serves. While a
+// background conversion is pending this is the tuned-CSR incumbent's format;
+// it becomes Decision.Chosen once the swap lands.
+func (o *Operator[T]) Format() matrix.Format { return o.eng.Load().mat.Format }
 
-// KernelName returns the chosen implementation.
-func (o *Operator[T]) KernelName() string { return o.kernel.Name }
+// KernelName returns the implementation the operator currently serves.
+func (o *Operator[T]) KernelName() string { return o.eng.Load().kernel.Name }
 
 // NNZ returns the operator's nonzero count.
 func (o *Operator[T]) NNZ() int { return o.nnz }
 
 // Dims returns the operator's dimensions.
-func (o *Operator[T]) Dims() (rows, cols int) { return o.mat.Dims() }
+func (o *Operator[T]) Dims() (rows, cols int) { return o.eng.Load().mat.Dims() }
 
 // Tuner is the runtime component: it holds a trained model and produces
 // tuned operators from CSR inputs. All methods are safe for concurrent use:
@@ -338,21 +430,43 @@ func (t *Tuner[T]) kernelFor(f matrix.Format) *kernels.Kernel[T] {
 // confident. Concurrent calls for matrices with the same feature
 // fingerprint are deduplicated: one call tunes, the rest block on its
 // decision. It returns the tuned operator and the full decision record.
+//
+// Tune is the asymptotic entry point: conversion cost is treated as fully
+// amortised. TuneOpts makes it an input to the decision.
 func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
-	d := &Decision{}
+	return t.TuneOpts(m, TuneOptions{})
+}
+
+// TuneOpts is Tune with per-call options: the decision becomes "best format
+// given opts.Iterations remaining SpMVs", with tuned CSR as the
+// zero-conversion-cost incumbent, and opts.FormatHint can bypass the
+// decision entirely. See TuneOptions for the exact semantics of each field.
+func (t *Tuner[T]) TuneOpts(m *matrix.CSR[T], opts TuneOptions) (*Operator[T], *Decision, error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	d := &Decision{IterationHint: opts.Iterations}
 
 	start := time.Now()
 	d.Features = features.Extract(m)
 	d.FeatureSec = time.Since(start).Seconds()
 
+	if opts.HasFormatHint {
+		op, err := t.tuneHinted(m, d, opts)
+		return op, d, err
+	}
+
 	if t.cache == nil {
 		op, err := t.decide(m, d)
-		return op, d, err
+		if err != nil {
+			return nil, d, err
+		}
+		return t.amortize(m, d, op, opts), d, nil
 	}
 
 	key := d.Features.Key()
 	var leaderOp *Operator[T]
-	entry, fromCache, err := t.cache.Do(key, t.refreshBelow(), func() (CacheEntry, error) {
+	entry, fromCache, err := t.cache.DoValidated(key, t.refreshBelow(), validForHint(opts), func() (CacheEntry, error) {
 		op, err := t.decide(m, d)
 		if err != nil {
 			return CacheEntry{}, err
@@ -362,22 +476,37 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 		if d.UsedFallback {
 			conf = 1 // measured ground truth
 		}
-		return CacheEntry{Format: d.Chosen, Kernel: d.Kernel, Confidence: conf, Measured: d.UsedFallback, BatchCrossover: d.BatchCrossover}, nil
+		// The entry records the asymptotic decision plus the leader's payoff
+		// measurements; amortisation against a hint is recomputed per hit.
+		return CacheEntry{
+			Format:         d.Chosen,
+			Kernel:         d.Kernel,
+			Confidence:     conf,
+			Measured:       d.UsedFallback,
+			BatchCrossover: d.BatchCrossover,
+			ConvertSec:     d.ConvertSec,
+			SpMVSec:        d.ChosenSpMVSec,
+			IncumbentSec:   d.IncumbentSec,
+		}, nil
 	})
 	if err != nil {
 		return nil, d, err
 	}
 	if !fromCache {
-		return leaderOp, d, nil
+		return t.amortize(m, d, leaderOp, opts), d, nil
 	}
 	// The decision came from the cache (or from a concurrent leader tuning
 	// an identical-fingerprint matrix): apply it to this matrix.
-	op, err := t.apply(m, d, entry)
+	op, err := t.applyAmortized(m, d, entry, opts)
 	if err != nil {
 		// The cached format does not fit this matrix — a fingerprint
 		// collision with a structurally different matrix. Decide locally
 		// without disturbing the cached entry.
 		op, err = t.decide(m, d)
+		if err != nil {
+			return nil, d, err
+		}
+		op = t.amortize(m, d, op, opts)
 	}
 	return op, d, err
 }
@@ -386,35 +515,44 @@ func (t *Tuner[T]) Tune(m *matrix.CSR[T]) (*Operator[T], *Decision, error) {
 // the cached format and bind the cached kernel. It fails only when the
 // format's zero-fill guard rejects this particular matrix.
 func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Operator[T], error) {
-	start := time.Now()
-	mat, err := kernels.Convert(m, entry.Format, t.model.MaxFill)
-	d.ConvertSec = time.Since(start).Seconds()
+	mat, timing, err := kernels.ConvertTimed(m, entry.Format, t.model.MaxFill)
+	d.ConvertSec = timing.Sec
 	if err != nil {
 		return nil, err
 	}
-	k := t.lib.Lookup(entry.Kernel)
-	if k == nil || k.Format != entry.Format {
-		k = t.kernelFor(entry.Format)
-	}
+	d.ConvertStored = timing.Stored
+	k := t.cachedKernel(entry)
 	d.CacheHit = true
 	d.Predicted = entry.Format
 	d.PredictedOK = true
 	d.Confidence = entry.Confidence
 	d.Chosen = entry.Format
 	d.Kernel = k.Name
-	op := &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
+	d.Converted = true
+	op := newOperator(mat, k, t.pool, m.NNZ())
 	// Reuse the leader's measured crossover instead of re-probing: cache hits
 	// stay measurement-free. Entries predating the probe (< 2 can never be a
 	// real crossover) fall back to the register-tile width.
-	op.batch = t.lib.BatchFor(entry.Format)
-	op.batchCrossover = entry.BatchCrossover
-	if op.batchCrossover < 2 {
-		op.batchCrossover = defaultBatchCrossover
+	e := op.eng.Load()
+	e.batch = t.lib.BatchFor(entry.Format)
+	e.batchCrossover = entry.BatchCrossover
+	if e.batchCrossover < 2 {
+		e.batchCrossover = defaultBatchCrossover
 	}
-	if op.batch != nil {
-		d.BatchCrossover = op.batchCrossover
+	if e.batch != nil {
+		d.BatchCrossover = e.batchCrossover
 	}
 	return op, nil
+}
+
+// cachedKernel resolves a cache entry's kernel, falling back to the model's
+// choice when the cached name is unknown or belongs to another format.
+func (t *Tuner[T]) cachedKernel(entry CacheEntry) *kernels.Kernel[T] {
+	k := t.lib.Lookup(entry.Kernel)
+	if k == nil || k.Format != entry.Format {
+		k = t.kernelFor(entry.Format)
+	}
+	return k
 }
 
 // refreshBelow is the confidence bar under which a cached, un-measured
@@ -429,7 +567,9 @@ func (t *Tuner[T]) refreshBelow() float64 {
 }
 
 // decide runs the model + fallback decision procedure on an already
-// feature-extracted matrix, filling d and returning the tuned operator.
+// feature-extracted matrix, filling d and returning the asymptotically best
+// operator (conversion cost not yet weighed — amortize does that against the
+// caller's iteration hint).
 func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	fv := d.Features.Vector()
 
@@ -449,16 +589,15 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	}
 
 	if d.PredictedOK {
-		start := time.Now()
-		mat, err := kernels.Convert(m, d.Predicted, t.model.MaxFill)
-		d.ConvertSec = time.Since(start).Seconds()
+		mat, timing, err := kernels.ConvertTimed(m, d.Predicted, t.model.MaxFill)
+		d.ConvertSec = timing.Sec
 		if err == nil {
+			d.ConvertStored = timing.Stored
 			d.Chosen = d.Predicted
 			k := t.kernelFor(d.Chosen)
 			d.Kernel = k.Name
-			t.accountCSRBaseline(m, d)
-			op := &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
-			t.bindBatch(op, d)
+			op := newOperator(mat, k, t.pool, m.NNZ())
+			t.finish(m, d, op)
 			return op, nil
 		}
 		// Fill guard rejected the predicted format; fall through to
@@ -471,8 +610,7 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 		if err != nil {
 			return nil, err
 		}
-		t.accountCSRBaseline(m, d)
-		t.bindBatch(op, d)
+		t.finish(m, d, op)
 		return op, nil
 	}
 
@@ -480,9 +618,18 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	t.accountCSRBaseline(m, d)
-	t.bindBatch(op, d)
+	t.finish(m, d, op)
 	return op, nil
+}
+
+// finish completes a freshly decided operator: record the CSR baseline,
+// probe the amortisation rates behind BreakEvenIters, and bind the batch
+// kernel. d.Chosen at this point is the asymptotic winner.
+func (t *Tuner[T]) finish(m *matrix.CSR[T], d *Decision, op *Operator[T]) {
+	t.accountCSRBaseline(m, d)
+	d.Asymptotic = d.Chosen
+	t.accountAmortization(m, d, op)
+	t.bindBatch(op, d)
 }
 
 // batchProbeWidths are the batch widths the crossover probe times, ordered:
@@ -495,31 +642,47 @@ var batchProbeWidths = [...]int{2, 4, 8}
 // decision (and hence the cache). Formats without a registered batch kernel
 // leave BatchCrossover at 0 and MulVecBatch always loops.
 func (t *Tuner[T]) bindBatch(op *Operator[T], d *Decision) {
-	op.batchCrossover = NeverBatch
-	op.batch = t.lib.BatchFor(op.mat.Format)
-	if op.batch == nil {
+	e := op.eng.Load()
+	e.batchCrossover = NeverBatch
+	e.batch = t.lib.BatchFor(e.mat.Format)
+	if e.batch == nil {
 		return
 	}
 	if op.nnz == 0 {
 		// Nothing to measure; both paths are trivially cheap, so prefer the
 		// tiled kernel (one pass instead of k) at every width.
-		op.batchCrossover = batchProbeWidths[0]
-		d.BatchCrossover = op.batchCrossover
+		e.batchCrossover = batchProbeWidths[0]
+		d.BatchCrossover = e.batchCrossover
 		return
 	}
 	start := time.Now()
-	op.batchCrossover = t.measureCrossover(op, d)
+	e.batchCrossover = t.measureCrossover(op, d)
 	d.BatchProbeSec = time.Since(start).Seconds()
-	d.BatchCrossover = op.batchCrossover
+	d.BatchCrossover = e.batchCrossover
+}
+
+// probeBudget calibrates a measurement budget against this matrix's own
+// basic CSR-SpMV time (once known): a few CSR-SpMV executions per timing,
+// never less than 10µs, so probes on small matrices stay near the paper's
+// overhead envelope instead of burning the full default MinTime.
+func (t *Tuner[T]) probeBudget(d *Decision) MeasureOptions {
+	measure := t.measure
+	if budget := time.Duration(3 * d.CSRSpMVSec * float64(time.Second)); budget > 0 && budget < measure.MinTime {
+		if budget < 10*time.Microsecond {
+			budget = 10 * time.Microsecond
+		}
+		measure.MinTime = budget
+	}
+	return measure
 }
 
 // measureCrossover times the tuned single-vector kernel against the tiled
 // SpMM kernel at each probe width and returns the first width where the
 // tiled pass costs no more than k single-vector passes (NeverBatch when the
-// loop wins everywhere). The probe budget is calibrated like the fallback's:
-// a few CSR-SpMV executions per timing, never less than 10µs.
+// loop wins everywhere). The probe budget is calibrated like the fallback's.
 func (t *Tuner[T]) measureCrossover(op *Operator[T], d *Decision) int {
-	rows, cols := op.mat.Dims()
+	e := op.eng.Load()
+	rows, cols := e.mat.Dims()
 	maxK := batchProbeWidths[len(batchProbeWidths)-1]
 	// All-ones input: any k-prefix of the buffer is a valid interleaved batch
 	// of k identical vectors, so one allocation serves every probed width.
@@ -529,17 +692,10 @@ func (t *Tuner[T]) measureCrossover(op *Operator[T], d *Decision) int {
 	}
 	yb := make([]T, rows*maxK)
 
-	measure := t.measure
-	if budget := time.Duration(3 * d.CSRSpMVSec * float64(time.Second)); budget < measure.MinTime {
-		if budget < 10*time.Microsecond {
-			budget = 10 * time.Microsecond
-		}
-		measure.MinTime = budget
-	}
-
-	single := MeasureSecPerOp(func() { op.kernel.RunPooled(op.mat, xb[:cols], yb[:rows], op.pool) }, measure)
+	measure := t.probeBudget(d)
+	single := MeasureSecPerOp(func() { e.kernel.RunPooled(e.mat, xb[:cols], yb[:rows], op.pool) }, measure)
 	for _, k := range batchProbeWidths {
-		sec := MeasureSecPerOp(func() { op.batch.RunPooled(op.mat, xb[:cols*k], yb[:rows*k], k, op.pool) }, measure)
+		sec := MeasureSecPerOp(func() { e.batch.RunPooled(e.mat, xb[:cols*k], yb[:rows*k], k, op.pool) }, measure)
 		if sec <= single*float64(k) {
 			return k
 		}
@@ -560,23 +716,23 @@ func (t *Tuner[T]) bestEffort(m *matrix.CSR[T], d *Decision, fv []float64) (*Ope
 			best, bestConf = f, conf
 		}
 	}
-	start := time.Now()
-	mat, err := kernels.Convert(m, best, t.model.MaxFill)
+	mat, timing, err := kernels.ConvertTimed(m, best, t.model.MaxFill)
 	if err != nil {
 		// The fill guard can still reject a feature-feasible format on edge
 		// cases; CSR always converts.
 		best, bestConf = matrix.FormatCSR, 0
-		mat, err = kernels.Convert(m, best, t.model.MaxFill)
+		mat, timing, err = kernels.ConvertTimed(m, best, t.model.MaxFill)
 		if err != nil {
 			return nil, err
 		}
 	}
-	d.ConvertSec = time.Since(start).Seconds()
+	d.ConvertSec = timing.Sec
+	d.ConvertStored = timing.Stored
 	d.Confidence = bestConf
 	d.Chosen = best
 	k := t.kernelFor(best)
 	d.Kernel = k.Name
-	return &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}, nil
+	return newOperator(mat, k, t.pool, m.NNZ()), nil
 }
 
 // groupConfidence returns the confidence of the first rule of class f (in
@@ -611,7 +767,9 @@ func feasible(f matrix.Format, ft *features.Features, maxFill float64) bool {
 }
 
 // fallback is the execute-and-measure path: benchmark every feasible format
-// once and keep the fastest, reusing the winner's conversion.
+// once and keep the fastest, reusing the winner's conversion. Conversion
+// time is measured per format as a side effect (it is structure-dependent),
+// feeding the amortisation payoff model.
 func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	d.UsedFallback = true
 	d.Measured = map[matrix.Format]float64{}
@@ -634,15 +792,10 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 	basicCSR.Run(csrMat, x, y, 1)
 	csrSec := time.Since(st).Seconds()
 	d.CSRSpMVSec = csrSec
-	measure := t.measure
-	if budget := time.Duration(3 * csrSec * float64(time.Second)); budget < measure.MinTime {
-		if budget < 10*time.Microsecond {
-			budget = 10 * time.Microsecond
-		}
-		measure.MinTime = budget
-	}
+	measure := t.probeBudget(d)
 
 	var bestOp *Operator[T]
+	var bestTiming kernels.ConvertTiming
 	best := -1.0
 	maxFill := fallbackMaxFill
 	if t.model.MaxFill < maxFill {
@@ -652,7 +805,7 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 		if !feasible(f, &d.Features, maxFill) {
 			continue
 		}
-		mat, err := kernels.Convert(m, f, maxFill)
+		mat, timing, err := kernels.ConvertTimed(m, f, maxFill)
 		if err != nil {
 			continue
 		}
@@ -664,7 +817,8 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 		d.Measured[f] = g
 		if g > best {
 			best = g
-			bestOp = &Operator[T]{mat: mat, kernel: k, pool: t.pool, nnz: m.NNZ()}
+			bestOp = newOperator(mat, k, t.pool, m.NNZ())
+			bestTiming = timing
 		}
 	}
 	if bestOp == nil {
@@ -672,6 +826,8 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 	}
 	d.Chosen = bestOp.Format()
 	d.Kernel = bestOp.KernelName()
+	d.ConvertSec = bestTiming.Sec
+	d.ConvertStored = bestTiming.Stored
 	return bestOp, nil
 }
 

@@ -289,6 +289,31 @@ func TestExtensions(t *testing.T) {
 	}
 }
 
+func TestConvertBench(t *testing.T) {
+	var out bytes.Buffer
+	res := ConvertBench(fastCfg(&out))
+	if len(res.Rows) != 2*len(convertKs) {
+		t.Fatalf("%d rows, want %d (2 classes x %d ks)", len(res.Rows), 2*len(convertKs), len(convertKs))
+	}
+	for _, row := range res.Rows {
+		if row.NeverSec <= 0 || row.EagerSec <= 0 || row.AmortizedSec <= 0 {
+			t.Errorf("%s k=%d: non-positive timing %+v", row.Class, row.K, row)
+		}
+		if row.BestPolicy != "never" && row.BestPolicy != "eager" {
+			t.Errorf("%s k=%d: best policy %q", row.Class, row.K, row.BestPolicy)
+		}
+	}
+	if !res.SwapOracleOK {
+		t.Errorf("convert-swap oracle failed: %s", res.SwapOracleErr)
+	}
+	if res.SteadyAllocsPerOp != 0 {
+		t.Errorf("steady-state allocs per op = %g, want 0", res.SteadyAllocsPerOp)
+	}
+	if !strings.Contains(out.String(), "Amortized conversion") {
+		t.Error("printed output missing header")
+	}
+}
+
 func TestCacheBench(t *testing.T) {
 	var out bytes.Buffer
 	res := CacheBench(fastCfg(&out))

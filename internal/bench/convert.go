@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"smat/internal/autotune"
+	"smat/internal/gen"
+	"smat/internal/matrix"
+	"smat/internal/oracle"
+)
+
+// ConvertResult is the amortised-conversion experiment: wall-clock time to
+// finish k SpMVs under the three conversion policies the TuneOptions API
+// expresses. "Never" pins tuned CSR (zero conversion cost), "eager" converts
+// to the asymptotic winner inline before the first SpMV, and "amortized"
+// passes the iteration hint k and lets the payoff model decide — converting
+// in the background, off the serving path, when k clears break-even.
+type ConvertResult struct {
+	Threads int     `json:"threads"`
+	Scale   float64 `json:"scale"`
+	Ks      []int   `json:"ks"`
+
+	// SwapOracleOK reports that the differential convert-swap oracle passed:
+	// pre-, mid- and post-swap answers bit-for-bit among the two allowed
+	// vectors at every checked thread count (acceptance for the async swap
+	// serving correct results from the first call).
+	SwapOracleOK  bool   `json:"swap_oracle_ok"`
+	SwapOracleErr string `json:"swap_oracle_err,omitempty"`
+
+	// SteadyAllocsPerOp is the malloc count per call on the post-swap pooled
+	// serving path (MulVec and loop-path MulVecBatch alternating), measured
+	// over 200 calls; the steady-state contract is 0.
+	SteadyAllocsPerOp float64 `json:"steady_allocs_per_op"`
+
+	Rows []ConvertRow `json:"rows"`
+}
+
+// ConvertRow is one (workload class, k) policy comparison. Seconds are
+// best-of-trials wall-clock for tune + k SpMVs, tuning included — the cost a
+// caller who owns the matrix for exactly k products actually pays.
+type ConvertRow struct {
+	Class      string `json:"class"`
+	Asymptotic string `json:"asymptotic_format"`
+	K          int    `json:"k"`
+
+	NeverSec     float64 `json:"never_sec"`
+	EagerSec     float64 `json:"eager_sec"`
+	AmortizedSec float64 `json:"amortized_sec"`
+
+	// BreakEvenIters and AmortizedChosen describe the amortised policy's
+	// decision at this k; AmortizedAsync reports that it scheduled a
+	// background conversion (served CSR first, swapped mid-run).
+	BreakEvenIters  int    `json:"break_even_iters"`
+	AmortizedChosen string `json:"amortized_chosen"`
+	AmortizedAsync  bool   `json:"amortized_async"`
+
+	// BestPolicy is the faster of never/eager; AmortizedVsBestPct is how far
+	// the amortised policy landed from it (negative = faster than both).
+	BestPolicy         string  `json:"best_policy"`
+	AmortizedVsBestPct float64 `json:"amortized_vs_best_pct"`
+}
+
+// convertKs is the iteration-count sweep: from a single product (conversion
+// can never pay) to deep amortisation.
+var convertKs = []int{1, 4, 16, 64, 256}
+
+// convertWorkloads are the two classes where conversion genuinely competes:
+// a banded stencil (DIA-affine) and a constant-degree graph (ELL-affine).
+// CSR- and COO-affine classes are excluded by construction — their asymptotic
+// winner needs no conversion, so every policy degenerates to "never".
+func convertWorkloads(cfg Config) []struct {
+	class string
+	m     *matrix.CSR[float64]
+} {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := func(n int) int { return max(64, int(float64(n)*cfg.Scale)) }
+	return []struct {
+		class string
+		m     *matrix.CSR[float64]
+	}{
+		{"dia-affine", gen.Laplacian2D5pt[float64](dim(700), dim(700))},
+		{"ell-affine", gen.ConstantDegree[float64](dim(400000), 8, rng)},
+	}
+}
+
+// convertTimeToK measures the wall-clock seconds from TuneOpts to the k-th
+// completed SpMV, best of trials. Between trials any background conversion is
+// allowed to settle off the clock, so one trial's worker never contends with
+// the next trial's serving calls.
+func convertTimeToK(t *autotune.Tuner[float64], m *matrix.CSR[float64],
+	opts autotune.TuneOptions, k, trials int, x, y []float64) (float64, *autotune.Decision, error) {
+
+	best := math.MaxFloat64
+	var d *autotune.Decision
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		op, di, err := t.TuneOpts(m, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		for j := 0; j < k; j++ {
+			op.MulVec(x, y)
+		}
+		sec := time.Since(start).Seconds()
+		op.AwaitConversion()
+		if sec < best {
+			best = sec
+		}
+		d = di
+	}
+	return best, d, nil
+}
+
+// convertSteadyAllocs measures mallocs per call on the post-swap pooled
+// serving path: a background-converted operator alternating MulVec and
+// loop-path MulVecBatch after one warm-up of each.
+func convertSteadyAllocs(t *autotune.Tuner[float64], m *matrix.CSR[float64]) (float64, error) {
+	// A pre-closed hold channel forces the background-swap protocol even on
+	// a single-CPU machine, so this measures the genuinely post-swap engine.
+	released := make(chan struct{})
+	close(released)
+	op, _, err := t.TuneOpts(m, autotune.TuneOptions{Iterations: 1 << 20, HoldConversion: released})
+	if err != nil {
+		return 0, err
+	}
+	op.AwaitConversion()
+
+	const bw = 3 // below any crossover: the loop path and its engine scratch
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/8
+	}
+	y := make([]float64, m.Rows)
+	xb := make([]float64, m.Cols*bw)
+	for i := range xb {
+		xb[i] = 1 + float64(i%5)/8
+	}
+	yb := make([]float64, m.Rows*bw)
+	op.MulVec(x, y)
+	op.MulVecBatch(xb, yb, bw)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const calls = 100
+	for i := 0; i < calls; i++ {
+		op.MulVec(x, y)
+		op.MulVecBatch(xb, yb, bw)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / (2 * calls), nil
+}
+
+// ConvertBench runs the amortised-conversion experiment: for each workload
+// class and each k, time-to-k-SpMVs under the never / eager / amortized
+// policies, all acquiring their operator through the same TuneOpts entry
+// point so the three policies pay comparable acquisition costs. The decision
+// cache is warmed by one asymptotic leader tune per class, so the amortised
+// policy exercises the cache-hit path with recorded payoff measurements —
+// the configuration the background swap is designed for.
+func ConvertBench(cfg Config) *ConvertResult {
+	cfg = cfg.withDefaults()
+	res := &ConvertResult{Threads: cfg.Threads, Scale: cfg.Scale, Ks: convertKs}
+
+	// Acceptance: the swap serves correct results from the first call. The
+	// differential oracle checks pre/mid/post-swap answers bit for bit.
+	for _, s := range oracle.Specs() {
+		if s.Name != "diag-banded" {
+			continue
+		}
+		s := s
+		if err := oracle.CheckConvertSwap[float64](&s, matrix.FormatDIA, oracle.Options{}); err != nil {
+			res.SwapOracleErr = err.Error()
+		} else {
+			res.SwapOracleOK = true
+		}
+	}
+
+	trials := cfg.Measure.Trials
+	if trials < 3 {
+		trials = 3
+	}
+
+	for _, w := range convertWorkloads(cfg) {
+		tuner := autotune.New[float64](cfg.Model, autotune.Config{Threads: cfg.Threads})
+
+		// Warm the decision cache: the leader pays the full decision once,
+		// recording conversion cost and the two per-SpMV rates.
+		_, lead, err := tuner.Tune(w.m)
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "(%s: leader tune failed: %v)\n", w.class, err)
+			tuner.Close()
+			continue
+		}
+		asym := lead.Asymptotic
+
+		x := make([]float64, w.m.Cols)
+		for i := range x {
+			x[i] = 1 + float64(i%7)/8
+		}
+		y := make([]float64, w.m.Rows)
+
+		for _, k := range convertKs {
+			never, _, err := convertTimeToK(tuner, w.m,
+				autotune.TuneOptions{FormatHint: matrix.FormatCSR, HasFormatHint: true}, k, trials, x, y)
+			if err == nil {
+				var eager float64
+				eager, _, err = convertTimeToK(tuner, w.m,
+					autotune.TuneOptions{FormatHint: asym, HasFormatHint: true}, k, trials, x, y)
+				if err == nil {
+					var amort float64
+					var d *autotune.Decision
+					amort, d, err = convertTimeToK(tuner, w.m,
+						autotune.TuneOptions{Iterations: k}, k, trials, x, y)
+					if err == nil {
+						row := ConvertRow{
+							Class:           w.class,
+							Asymptotic:      asym.String(),
+							K:               k,
+							NeverSec:        never,
+							EagerSec:        eager,
+							AmortizedSec:    amort,
+							BreakEvenIters:  d.BreakEvenIters,
+							AmortizedChosen: d.Chosen.String(),
+							AmortizedAsync:  !d.Converted,
+							BestPolicy:      "never",
+						}
+						best := never
+						if eager < best {
+							best, row.BestPolicy = eager, "eager"
+						}
+						if best > 0 {
+							row.AmortizedVsBestPct = (amort/best - 1) * 100
+						}
+						res.Rows = append(res.Rows, row)
+					}
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(cfg.Out, "(%s k=%d: %v)\n", w.class, k, err)
+			}
+		}
+
+		if w.class == "dia-affine" && asym != matrix.FormatCSR {
+			allocs, err := convertSteadyAllocs(tuner, w.m)
+			if err == nil {
+				res.SteadyAllocsPerOp = allocs
+			}
+		}
+		tuner.Close()
+	}
+
+	t := &table{header: []string{"Class", "Asym", "k", "Never (ms)", "Eager (ms)", "Amortized (ms)", "Break-even", "Chosen", "Async", "Vs best"}}
+	for _, row := range res.Rows {
+		be := fmt.Sprint(row.BreakEvenIters)
+		if row.BreakEvenIters == autotune.NeverAmortize {
+			be = "never"
+		}
+		t.add(row.Class, row.Asymptotic, fmt.Sprint(row.K),
+			fmt.Sprintf("%.3f", row.NeverSec*1e3),
+			fmt.Sprintf("%.3f", row.EagerSec*1e3),
+			fmt.Sprintf("%.3f", row.AmortizedSec*1e3),
+			be, row.AmortizedChosen, fmt.Sprint(row.AmortizedAsync),
+			fmt.Sprintf("%+.1f%%", row.AmortizedVsBestPct))
+	}
+	fmt.Fprintf(cfg.Out, "Amortized conversion: time to k SpMVs by policy (%d threads)\n", cfg.Threads)
+	t.print(cfg.Out)
+	fmt.Fprintf(cfg.Out, "swap oracle ok: %v; steady-state allocs/op post-swap: %g\n",
+		res.SwapOracleOK, res.SteadyAllocsPerOp)
+	t.saveTSV(cfg, "convert")
+	return res
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"smat/internal/matrix"
 )
@@ -160,6 +161,57 @@ func (m *Mat[T]) ToCSR() *matrix.CSR[T] {
 		return m.BCSR.ToCSR()
 	}
 	panic("kernels: invalid format")
+}
+
+// Stored returns the number of element slots the held representation stores,
+// padding included — the work term of the conversion payoff model (see
+// matrix.CSR.Stored).
+func (m *Mat[T]) Stored() int {
+	switch m.Format {
+	case matrix.FormatCSR:
+		return m.CSR.Stored()
+	case matrix.FormatCOO:
+		return m.COO.Stored()
+	case matrix.FormatDIA:
+		return m.DIA.Stored()
+	case matrix.FormatELL:
+		return m.ELL.Stored()
+	case matrix.FormatHYB:
+		return m.HYB.Stored()
+	case matrix.FormatBCSR:
+		return m.BCSR.Stored()
+	}
+	panic("kernels: invalid format")
+}
+
+// ConvertTiming records the measured cost of one format conversion: the
+// wall-clock seconds the conversion took and the number of element slots the
+// target representation stores (its linear work term). It is the measurement
+// hook the amortisation-aware tuner records in Decision.ConvertSec and the
+// decision cache, so "is k SpMVs enough to pay for this conversion?" can be
+// answered without converting again.
+type ConvertTiming struct {
+	Format matrix.Format
+	Sec    float64
+	Stored int
+}
+
+// ConvertTimed is Convert with the stopwatch attached: it materialises the
+// matrix in the requested format and reports how long the conversion took and
+// how many slots it wrote. CSR "conversion" wraps the input in place and
+// reports zero seconds — CSR is the zero-cost incumbent of the amortisation
+// model.
+func ConvertTimed[T matrix.Float](m *matrix.CSR[T], f matrix.Format, maxFill float64) (*Mat[T], ConvertTiming, error) {
+	if f == matrix.FormatCSR {
+		return &Mat[T]{Format: f, CSR: m}, ConvertTiming{Format: f, Stored: m.Stored()}, nil
+	}
+	start := time.Now()
+	out, err := Convert(m, f, maxFill)
+	sec := time.Since(start).Seconds()
+	if err != nil {
+		return nil, ConvertTiming{Format: f, Sec: sec}, err
+	}
+	return out, ConvertTiming{Format: f, Sec: sec, Stored: out.Stored()}, nil
 }
 
 // Convert materialises a CSR matrix in the requested format. maxFill bounds

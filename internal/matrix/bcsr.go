@@ -29,6 +29,9 @@ func (m *BCSR[T]) BlockCols() int { return (m.Cols + m.BC - 1) / m.BC }
 // NBlocks returns the number of stored blocks.
 func (m *BCSR[T]) NBlocks() int { return len(m.ColIdx) }
 
+// Stored returns the number of element slots including block zero fill.
+func (m *BCSR[T]) Stored() int { return len(m.Blocks) }
+
 // NNZ returns the number of nonzero entries (zero fill inside blocks is not
 // counted).
 func (m *BCSR[T]) NNZ() int {

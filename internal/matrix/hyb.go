@@ -28,6 +28,9 @@ func (m *HYB[T]) Cols() int { return m.ELL.Cols }
 // NNZ returns the stored nonzero count across both parts.
 func (m *HYB[T]) NNZ() int { return m.ELL.NNZ() + m.COO.NNZ() }
 
+// Stored returns the element slots held across both parts, padding included.
+func (m *HYB[T]) Stored() int { return m.ELL.Stored() + m.COO.Stored() }
+
 // Validate checks both parts and their dimensional agreement.
 func (m *HYB[T]) Validate() error {
 	if m.ELL == nil || m.COO == nil {

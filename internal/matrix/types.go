@@ -150,6 +150,22 @@ func (m *ELL[T]) NNZ() int {
 	return n
 }
 
+// Stored returns the number of element slots the representation holds,
+// padding included. Conversion cost scales linearly with it (every slot is
+// written once), so it is the work term of the amortisation payoff model in
+// internal/autotune: a conversion time measured on one matrix transfers to a
+// structurally similar one by the ratio of their Stored counts.
+func (m *CSR[T]) Stored() int { return len(m.Vals) }
+
+// Stored returns the number of stored entries (COO holds no padding).
+func (m *COO[T]) Stored() int { return len(m.Vals) }
+
+// Stored returns the number of element slots including diagonal zero fill.
+func (m *DIA[T]) Stored() int { return len(m.Data) }
+
+// Stored returns the number of element slots including row padding.
+func (m *ELL[T]) Stored() int { return len(m.Data) }
+
 // Validate checks the structural invariants of the CSR representation.
 func (m *CSR[T]) Validate() error {
 	if m.Rows < 0 || m.Cols < 0 {

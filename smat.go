@@ -28,6 +28,14 @@
 // resolved once) and each matrix caches its execution plan (load-balanced
 // work partition), so the per-call hot path spawns nothing, re-partitions
 // nothing, and allocates nothing.
+//
+// Callers that know how long a matrix will live can say so: per-call
+// TuneOptions (WithIterations, WithFormatHint, WithSyncConvert) make
+// conversion cost a first-class input to the decision, so a matrix facing
+// only k more SpMVs is converted away from CSR only when k reaches the
+// measured break-even point — and, on a warm decision cache, the conversion
+// runs in the background while the first calls serve tuned CSR (see the
+// "Amortized conversion" section of the README).
 package smat
 
 import (
@@ -78,11 +86,14 @@ type Matrix[T Float] struct {
 	tuneMu sync.Mutex
 }
 
-// tunedSlot pairs a tuned operator with the tuner that produced it, so a
-// single atomic load tells CSRSpMV both what to run and whether it may.
+// tunedSlot pairs a tuned operator with the tuner that produced it and the
+// per-call options it was tuned under, so a single atomic load tells CSRSpMV
+// what to run, whether it may, and whether the caller's current options
+// still match.
 type tunedSlot[T Float] struct {
 	op    *Operator[T]
 	owner *Tuner[T]
+	key   optsKey
 }
 
 // FromEntries assembles a matrix from unordered coordinate entries
@@ -140,6 +151,10 @@ func (a *Matrix[T]) Features() Features {
 // matrices are collapsed into a single tuning run (singleflight).
 type Tuner[T Float] struct {
 	inner *autotune.Tuner[T]
+
+	// defaultIters is the tuner-level iteration hint (WithDefaultIterations);
+	// a per-call WithIterations takes precedence. 0 means asymptotic tuning.
+	defaultIters int
 }
 
 // CacheStats reports the tuner's decision-cache counters; see Tuner.Stats.
@@ -148,11 +163,12 @@ type CacheStats = autotune.CacheStats
 // tunerConfig collects the Option settings before they are translated to
 // the runtime configuration.
 type tunerConfig struct {
-	threads    int
-	cacheSize  int
-	cache      *autotune.Cache
-	noFallback bool
-	confidence float64
+	threads      int
+	cacheSize    int
+	cache        *autotune.Cache
+	noFallback   bool
+	confidence   float64
+	defaultIters int
 }
 
 // Option configures NewTuner.
@@ -207,6 +223,19 @@ func WithCacheFrom[T Float](other *Tuner[T]) Option {
 	}
 }
 
+// WithDefaultIterations sets a tuner-level iteration hint applied to every
+// call that does not carry its own WithIterations — the per-call option
+// always takes precedence (see TuneOption for the full precedence rules).
+// n ≤ 0 clears the default, restoring asymptotic tuning.
+func WithDefaultIterations(n int) Option {
+	return func(c *tunerConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.defaultIters = n
+	}
+}
+
 // NewTuner builds a runtime tuner for a model. With no options it uses the
 // model's trained thread count and a default-sized decision cache:
 //
@@ -223,7 +252,7 @@ func NewTuner[T Float](model *Model, opts ...Option) *Tuner[T] {
 		Cache:               c.cache,
 		DisableFallback:     c.noFallback,
 		ConfidenceThreshold: c.confidence,
-	})}
+	}), defaultIters: c.defaultIters}
 }
 
 // NewTunerThreads builds a runtime tuner with the pre-options positional
@@ -249,18 +278,109 @@ func (t *Tuner[T]) Close() { t.inner.Close() }
 // The zero value is returned when caching is disabled.
 func (t *Tuner[T]) Stats() CacheStats { return t.inner.Stats() }
 
+// TuneOption carries per-call tuning intent into Tune, CSRSpMV and
+// CSRSpMVBatch. Options are variadic additions — calls without any behave
+// exactly as before (asymptotic tuning).
+//
+// Precedence rules: a per-call option always beats the corresponding
+// tuner-level Option (WithIterations beats WithDefaultIterations), and
+// WithFormatHint beats everything — it bypasses the model, the decision
+// cache and the iteration hint entirely. Options only affect the call that
+// carries them; the operator they produce is cached on the matrix handle
+// keyed by the effective options, so alternating option sets on one handle
+// re-tunes (cheaply, via the decision cache) rather than serving a stale
+// operator.
+type TuneOption func(*tuneCall)
+
+// tuneCall accumulates per-call options before validation.
+type tuneCall struct {
+	opts    autotune.TuneOptions
+	iterSet bool
+	err     error
+}
+
+// optsKey is the comparable fingerprint of the effective per-call options
+// under which a handle's cached operator was tuned. SyncConvert is excluded:
+// it changes where the conversion runs, not what the operator converges to.
+type optsKey struct {
+	iters   int
+	hint    Format
+	hasHint bool
+}
+
+// WithIterations tells the tuner the matrix is expected to serve n more
+// SpMV operations (a batch of width k counts as k). The decision becomes
+// "best format given n remaining SpMVs": a non-CSR winner is adopted only
+// when n reaches its measured break-even point, and on a warm decision
+// cache the conversion runs in the background while the first calls serve
+// tuned CSR (WithSyncConvert forces it inline). n ≤ 0 is rejected with an
+// error from the call carrying the option: an estimate of zero remaining
+// operations means there is nothing to tune for.
+func WithIterations(n int) TuneOption {
+	return func(c *tuneCall) {
+		if n <= 0 {
+			c.err = fmt.Errorf("smat: WithIterations(%d): iteration hint must be positive", n)
+			return
+		}
+		c.opts.Iterations = n
+		c.iterSet = true
+	}
+}
+
+// WithFormatHint forces the operator's storage format, bypassing the model
+// and the decision cache. The conversion always runs inline, so the hint
+// doubles as an eager-convert switch; tuning fails if no kernel is
+// registered for the format or its fill guard rejects the matrix. The hint
+// takes precedence over any iteration hint.
+func WithFormatHint(f Format) TuneOption {
+	return func(c *tuneCall) {
+		c.opts.FormatHint = f
+		c.opts.HasFormatHint = true
+	}
+}
+
+// WithSyncConvert forces an amortised non-CSR winner to be materialised
+// before the call returns instead of in the background. It has no effect
+// when nothing would be converted (CSR winner, or an iteration hint below
+// the break-even point).
+func WithSyncConvert() TuneOption {
+	return func(c *tuneCall) { c.opts.SyncConvert = true }
+}
+
+// resolveOptions folds per-call options over the tuner-level defaults and
+// returns the effective internal options plus the slot key they imply.
+func (t *Tuner[T]) resolveOptions(opts []TuneOption) (autotune.TuneOptions, optsKey, error) {
+	var c tuneCall
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.err != nil {
+		return autotune.TuneOptions{}, optsKey{}, c.err
+	}
+	if !c.iterSet {
+		c.opts.Iterations = t.defaultIters
+	}
+	key := optsKey{iters: c.opts.Iterations, hint: c.opts.FormatHint, hasHint: c.opts.HasFormatHint}
+	return c.opts, key, nil
+}
+
 // Tune selects the format and kernel for a matrix and returns the tuned
 // operator together with the decision record. Tune always runs the tuning
 // procedure (served from the decision cache when a structurally identical
 // matrix was tuned before) and atomically replaces the operator cached on
-// the matrix handle for CSRSpMV.
-func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
-	op, dec, err := t.inner.Tune(a.csr)
+// the matrix handle for CSRSpMV. Per-call options refine the decision; see
+// TuneOption.
+func (t *Tuner[T]) Tune(a *Matrix[T], opts ...TuneOption) (*Operator[T], error) {
+	o, key, err := t.resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	op, dec, err := t.inner.TuneOpts(a.csr, o)
 	if err != nil {
 		return nil, err
 	}
 	out := &Operator[T]{op: op, dec: dec}
-	a.tuned.Store(&tunedSlot[T]{op: out, owner: t})
+	a.tuned.Store(&tunedSlot[T]{op: out, owner: t, key: key})
 	return out, nil
 }
 
@@ -275,10 +395,15 @@ func (t *Tuner[T]) Tune(a *Matrix[T]) (*Operator[T], error) {
 // first use tunes exactly once (concurrent callers block on that one run)
 // and later calls reuse the operator lock-free. The handle's operator
 // belongs to the tuner that produced it — calling CSRSpMV with a different
-// tuner re-tunes and atomically replaces it (usually cheaply, as a decision
-// cache hit). Code that serves several tuners on one matrix should hold the
-// per-tuner Operators returned by Tune instead of ping-ponging the handle.
-func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
+// tuner, or with different per-call options, re-tunes and atomically
+// replaces it (usually cheaply, as a decision cache hit). Code that serves
+// several tuners on one matrix should hold the per-tuner Operators returned
+// by Tune instead of ping-ponging the handle.
+//
+// Per-call options (see TuneOption) shape the first-use tuning decision:
+// steady callers pass the same options on every call and pay their cost only
+// when the handle actually tunes.
+func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T, opts ...TuneOption) error {
 	rows, cols := a.Dims()
 	if len(x) != cols || len(y) != rows {
 		return fmt.Errorf("smat: CSRSpMV on %dx%d matrix with |x|=%d |y|=%d", rows, cols, len(x), len(y))
@@ -286,10 +411,13 @@ func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
 	if matrix.SlicesOverlap(x, y) {
 		return fmt.Errorf("smat: CSRSpMV x and y share memory; SpMV reads x while writing y")
 	}
+	o, key, err := t.resolveOptions(opts)
+	if err != nil {
+		return err
+	}
 	s := a.tuned.Load()
-	if s == nil || s.owner != t {
-		var err error
-		if s, err = a.tuneOnce(t); err != nil {
+	if s == nil || s.owner != t || s.key != key {
+		if s, err = a.tuneOnce(t, o, key); err != nil {
 			return err
 		}
 	}
@@ -306,8 +434,8 @@ func (t *Tuner[T]) CSRSpMV(a *Matrix[T], x, y []T) error {
 // SpMM kernel or a loop over the single-vector kernel, whichever side of the
 // measured crossover k falls on (see Decision.BatchCrossover). k = 0 is a
 // no-op; a negative k, mis-sized buffers, or xb/yb sharing memory return an
-// error before any kernel runs.
-func (t *Tuner[T]) CSRSpMVBatch(a *Matrix[T], xb, yb []T, k int) error {
+// error before any kernel runs. Per-call options behave as in CSRSpMV.
+func (t *Tuner[T]) CSRSpMVBatch(a *Matrix[T], xb, yb []T, k int, opts ...TuneOption) error {
 	if k < 0 {
 		return fmt.Errorf("smat: CSRSpMVBatch with negative batch width %d", k)
 	}
@@ -322,10 +450,13 @@ func (t *Tuner[T]) CSRSpMVBatch(a *Matrix[T], xb, yb []T, k int) error {
 	if k == 0 {
 		return nil
 	}
+	o, key, err := t.resolveOptions(opts)
+	if err != nil {
+		return err
+	}
 	s := a.tuned.Load()
-	if s == nil || s.owner != t {
-		var err error
-		if s, err = a.tuneOnce(t); err != nil {
+	if s == nil || s.owner != t || s.key != key {
+		if s, err = a.tuneOnce(t, o, key); err != nil {
 			return err
 		}
 	}
@@ -335,17 +466,17 @@ func (t *Tuner[T]) CSRSpMVBatch(a *Matrix[T], xb, yb []T, k int) error {
 
 // tuneOnce tunes a for t under the handle's mutex, so concurrent first
 // uses of one matrix run exactly one tuning pass instead of racing.
-func (a *Matrix[T]) tuneOnce(t *Tuner[T]) (*tunedSlot[T], error) {
+func (a *Matrix[T]) tuneOnce(t *Tuner[T], o autotune.TuneOptions, key optsKey) (*tunedSlot[T], error) {
 	a.tuneMu.Lock()
 	defer a.tuneMu.Unlock()
-	if s := a.tuned.Load(); s != nil && s.owner == t {
+	if s := a.tuned.Load(); s != nil && s.owner == t && s.key == key {
 		return s, nil
 	}
-	op, dec, err := t.inner.Tune(a.csr)
+	op, dec, err := t.inner.TuneOpts(a.csr, o)
 	if err != nil {
 		return nil, err
 	}
-	s := &tunedSlot[T]{op: &Operator[T]{op: op, dec: dec}, owner: t}
+	s := &tunedSlot[T]{op: &Operator[T]{op: op, dec: dec}, owner: t, key: key}
 	a.tuned.Store(s)
 	return s, nil
 }
@@ -381,14 +512,42 @@ func (o *Operator[T]) MulVec(x, y []T) { o.op.MulVec(x, y) }
 // entry point is Tuner.CSRSpMVBatch.
 func (o *Operator[T]) MulVecBatch(xb, yb []T, k int) { o.op.MulVecBatch(xb, yb, k) }
 
-// Format returns the chosen storage format.
+// Format returns the storage format the operator currently serves. While a
+// background conversion is pending (see ConversionState) this is the
+// tuned-CSR incumbent's format; it becomes Decision.Chosen once the swap
+// lands.
 func (o *Operator[T]) Format() Format { return o.op.Format() }
 
-// KernelName returns the chosen kernel implementation.
+// KernelName returns the kernel implementation the operator currently
+// serves.
 func (o *Operator[T]) KernelName() string { return o.op.KernelName() }
 
+// ConversionState reports where the operator stands in the background
+// conversion lifecycle: ConvertNone for operators born in their final
+// format, then ConvertPending → ConvertDone (or ConvertFailed) when an
+// iteration hint scheduled the amortised winner to be built in the
+// background.
+func (o *Operator[T]) ConversionState() ConversionState { return o.op.ConversionState() }
+
+// AwaitConversion blocks until a pending background conversion has either
+// swapped in the converted representation or failed, then returns the final
+// state. It returns immediately for operators born in their final format.
+func (o *Operator[T]) AwaitConversion() ConversionState { return o.op.AwaitConversion() }
+
+// ConversionState is the background-conversion lifecycle of an Operator.
+type ConversionState = autotune.ConversionState
+
+// ConversionState values; see Operator.ConversionState.
+const (
+	ConvertNone    = autotune.ConvertNone
+	ConvertPending = autotune.ConvertPending
+	ConvertDone    = autotune.ConvertDone
+	ConvertFailed  = autotune.ConvertFailed
+)
+
 // Decision returns the full runtime decision record (prediction, confidence,
-// cache provenance, fallback measurements, overhead accounting).
+// cache provenance, fallback measurements, amortisation and overhead
+// accounting).
 func (o *Operator[T]) Decision() Decision {
 	return Decision{
 		Predicted:      o.dec.Predicted,
@@ -398,6 +557,12 @@ func (o *Operator[T]) Decision() Decision {
 		CacheHit:       o.dec.CacheHit,
 		Chosen:         o.dec.Chosen,
 		Kernel:         o.dec.Kernel,
+		IterationHint:  o.dec.IterationHint,
+		Asymptotic:     o.dec.Asymptotic,
+		BreakEvenIters: o.dec.BreakEvenIters,
+		Amortized:      o.dec.Amortized,
+		Converted:      o.dec.Converted,
+		ConvertSec:     o.dec.ConvertSec,
 		BatchCrossover: o.dec.BatchCrossover,
 		Overhead:       o.dec.Overhead(),
 	}
@@ -407,6 +572,12 @@ func (o *Operator[T]) Decision() Decision {
 // SpMM kernel lost to looping the single-vector kernel at every measured
 // batch width: MulVecBatch always takes the loop path.
 const NeverBatch = autotune.NeverBatch
+
+// NeverAmortize is the Decision.BreakEvenIters sentinel recorded when
+// converting can never pay off: the converted format is not actually faster
+// than the tuned-CSR incumbent, so no iteration count justifies the
+// conversion cost.
+const NeverAmortize = autotune.NeverAmortize
 
 // Decision summarises how SMAT chose the operator's format. Exactly one of
 // three paths produced it: a confident model prediction (PredictedOK, no
@@ -432,10 +603,34 @@ type Decision struct {
 	// feature-keyed cache: no rule evaluation or measurement ran, only
 	// feature extraction and format conversion.
 	CacheHit bool
-	// Chosen is the final storage format the operator uses; Kernel the name
-	// of the implementation bound to it.
+	// Chosen is the final storage format the operator uses (or, while a
+	// background conversion is pending, will use once the swap lands); Kernel
+	// the name of the implementation bound to it.
 	Chosen Format
 	Kernel string
+	// IterationHint echoes the effective WithIterations /
+	// WithDefaultIterations value the decision was made under; 0 means the
+	// decision is asymptotic and the amortisation fields below are purely
+	// informational.
+	IterationHint int
+	// Asymptotic is the format tuning would choose for a matrix that lives
+	// forever. Chosen differs from it only when the iteration hint made
+	// converting uneconomical (Amortized).
+	Asymptotic Format
+	// BreakEvenIters is the SpMV count at which converting to Asymptotic
+	// pays off against serving tuned CSR: 0 when Asymptotic is CSR,
+	// NeverAmortize when the converted format never beats it.
+	BreakEvenIters int
+	// Amortized reports that the iteration hint overrode the asymptotic
+	// winner and the operator serves tuned CSR instead.
+	Amortized bool
+	// Converted reports that the operator was already materialised in its
+	// Chosen format when the call returned; false means a background
+	// conversion was still pending (see Operator.ConversionState).
+	Converted bool
+	// ConvertSec is the measured (or, on the background path, cached)
+	// conversion time in seconds for the chosen format.
+	ConvertSec float64
 	// BatchCrossover is the measured batch width at or above which
 	// MulVecBatch runs the register-tiled SpMM kernel instead of looping the
 	// single-vector kernel. It is NeverBatch when the loop won at every
