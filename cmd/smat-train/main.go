@@ -72,6 +72,13 @@ func main() {
 	for _, s := range res.Search {
 		log.Printf("kernel search %-3s: best %-26s strategy scores %v", s.Format, s.Best, s.StrategyScores)
 	}
+	for _, w := range res.ParamSearch {
+		if w.Kernel == "" {
+			continue
+		}
+		log.Printf("param search  %-3s: best %-26s params %-10s %.2f GFLOPS (fixed menu %s %.2f), %d candidates pruned",
+			w.Format, w.Kernel, w.Params.String(), w.GFLOPS, w.FixedKernel, w.FixedGFLOPS, len(w.Pruned))
+	}
 	log.Printf("ruleset: %d rules tailored to %d; training accuracy %.1f%%",
 		res.FullRules, res.TailoredRules, 100*res.TrainAccuracy)
 

@@ -9,7 +9,12 @@
 //
 //   - kernel names are unique, non-empty string literals (single-vector and
 //     batched kernels live in separate lookup namespaces, so uniqueness is
-//     per namespace);
+//     per namespace); parameterized registrations may instead template the
+//     name through a call to a top-level function whose first argument is a
+//     non-empty literal base (e.g. ParamName("bcsr_batch_parallel", p) →
+//     "bcsr_batch_parallel_t2") — such names get their suffix at
+//     registration, so static uniqueness is left to the registry's runtime
+//     duplicate panic;
 //   - every entry's run field is a top-level function (optionally a generic
 //     instantiation) or a call to a top-level factory — never a closure or a
 //     variable, so registration is the only place function values are built
@@ -17,6 +22,11 @@
 //   - every factory binds its chunk functions once, in the factory body:
 //     conversions to the chunk type (rangeFn) must wrap top-level functions
 //     and must not appear inside the returned per-call closure;
+//   - a parameter-bound factory (one taking value parameters, like an unroll
+//     depth or register-tile width) must resolve those parameters at bind
+//     time: referencing a factory parameter inside the returned closure
+//     would re-dispatch on the parameter every call instead of running the
+//     pre-bound funcval;
 //   - every factory-returned closure handles the serial plan cutoff (an
 //     ex.plan.Serial branch), so small matrices never pay the fan-out;
 //   - every exported constant of the registry's Format type — wherever that
@@ -50,6 +60,7 @@ type entry struct {
 	lit        *ast.CompositeLit
 	name       string
 	nameOK     bool
+	templated  bool // name built by a templating call; suffix applied at registration
 	format     *types.Const
 	strategies bool // true when the Strategies field is present and nonzero
 	batch      bool // true for BatchKernel entries
@@ -129,9 +140,13 @@ func collectEntries(pass *framework.Pass, decls map[string]*ast.FuncDecl) ([]*en
 					if b, ok := kv.Value.(*ast.BasicLit); ok {
 						e.name = strings.Trim(b.Value, `"`)
 						e.nameOK = e.name != ""
+					} else if base, ok := templatedName(pass, kv.Value); ok {
+						e.name = base
+						e.nameOK = true
+						e.templated = true
 					}
 					if !e.nameOK {
-						pass.Reportf(kv.Value.Pos(), "kernel name must be a non-empty string literal")
+						pass.Reportf(kv.Value.Pos(), "kernel name must be a non-empty string literal or a templating call with a literal base")
 					}
 				case "Format":
 					if tv, ok := pass.Info.Types[kv.Value]; ok && tv.Value != nil {
@@ -211,12 +226,37 @@ func constObj(pass *framework.Pass, e ast.Expr) *types.Const {
 	return nil
 }
 
+// templatedName accepts a kernel name built by a call to a top-level
+// templating function whose first argument is a non-empty string literal —
+// the per-instance suffix (e.g. "_2x4", "_t8") is appended at registration,
+// so the literal base is what the lint can anchor on statically.
+func templatedName(pass *framework.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	if _, ok := topLevelFuncName(pass, call.Fun); !ok {
+		return "", false
+	}
+	b, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	base := strings.Trim(b.Value, `"`)
+	return base, base != ""
+}
+
 func checkNames(pass *framework.Pass, entries []*entry) {
 	// Single-vector and batched kernels resolve through separate library
 	// lookups, so a name may legally appear once in each namespace.
 	seen := map[string]bool{}
 	for _, e := range entries {
 		if !e.nameOK {
+			continue
+		}
+		if e.templated {
+			// The suffix that makes templated instances unique is computed at
+			// registration; the registry's duplicate panic is the arbiter.
 			continue
 		}
 		key := e.name
@@ -336,6 +376,35 @@ func checkFactory(pass *framework.Pass, fd *ast.FuncDecl) {
 		if !mentionsSerial(lit.Body) {
 			pass.Reportf(lit.Pos(), "factory %s closure never checks the plan's Serial cutoff", fd.Name.Name)
 		}
+	}
+
+	// Parameter-bound factories must resolve their parameters at bind time:
+	// a factory parameter referenced inside the per-call closure re-dispatches
+	// on the parameter every call instead of running a pre-bound funcval.
+	params := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	for _, lit := range returned {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil && params[obj] {
+				pass.Reportf(id.Pos(), "factory %s references parameter %s inside the per-call closure; resolve it to a bound funcval in the factory body", fd.Name.Name, id.Name)
+			}
+			return true
+		})
 	}
 }
 

@@ -112,6 +112,53 @@ func badFactoryNoLit() runFn { // want `must return its per-call closure`
 	return runFn(ellSerial)
 }
 
+// --- parameterized registrations ------------------------------------------
+
+// paramName mirrors kernels.ParamName: a top-level name-templating helper
+// whose literal first argument anchors the lint; the per-instance suffix is
+// appended at registration.
+func paramName(base string, tile int) string { return base }
+
+var nameVar = "csr-par"
+
+// pickChunk is a selector helper: it holds the per-parameter conversions so
+// parameter-bound factories resolve a funcval at bind time.
+func pickChunk(tile int) rangeFn {
+	if tile == 2 {
+		return rangeFn(csrChunk)
+	}
+	return rangeFn(ellChunk)
+}
+
+// goodParamFactory binds the parameter to a funcval once; the closure never
+// sees the parameter.
+func goodParamFactory(tile int) runFn {
+	chunk := pickChunk(tile)
+	return func(ex exec) {
+		if ex.plan.Serial {
+			csrSerial(ex)
+			return
+		}
+		chunk(ex, 0, 1)
+	}
+}
+
+// badParamFactory re-dispatches on the parameter inside the per-call closure.
+func badParamFactory(tile int) runFn {
+	chunk := rangeFn(csrChunk)
+	return func(ex exec) {
+		if ex.plan.Serial {
+			csrSerial(ex)
+			return
+		}
+		if tile == 2 { // want `references parameter tile inside the per-call closure`
+			csrSerial(ex)
+			return
+		}
+		chunk(ex, 0, 1)
+	}
+}
+
 // --- registry -------------------------------------------------------------
 
 func allKernels() []*Kernel { // want `format FormatDIA has no registered kernel` `format FormatHYB has no basic`
@@ -129,6 +176,13 @@ func allKernels() []*Kernel { // want `format FormatDIA has no registered kernel
 		{Name: "ell-local-chunk", Format: FormatELL, Strategies: 8, run: badFactoryLocalChunk()},
 		{Name: "ell-no-lit", Format: FormatELL, Strategies: 16, run: badFactoryNoLit()},
 		{Name: "", Format: FormatCSR, run: csrSerial}, // want `non-empty string literal`
+		// Templated instances: same literal base, per-instance suffix at
+		// registration — no duplicate report, factories still checked.
+		{Name: paramName("csr-par", 2), Format: FormatCSR, Strategies: 1, run: goodParamFactory(2)},
+		{Name: paramName("csr-par", 8), Format: FormatCSR, Strategies: 1, run: goodParamFactory(8)},
+		{Name: paramName("csr-par-bad", 2), Format: FormatCSR, Strategies: 1, run: badParamFactory(2)},
+		{Name: paramName("", 4), Format: FormatCSR, run: csrSerial},      // want `non-empty string literal`
+		{Name: paramName(nameVar, 4), Format: FormatCSR, run: csrSerial}, // want `non-empty string literal`
 	}
 	return append(base, hybKernels()...)
 }

@@ -220,20 +220,24 @@ func (t *Tuner[T]) incumbent(m *matrix.CSR[T]) *Operator[T] {
 	mat := &kernels.Mat[T]{Format: matrix.FormatCSR, CSR: m}
 	op := newOperator(mat, t.kernelFor(matrix.FormatCSR), t.pool, m.NNZ())
 	e := op.eng.Load()
-	e.batch = t.lib.BatchFor(matrix.FormatCSR)
+	e.batch = t.lib.BatchForParams(matrix.FormatCSR, t.paramsFor(matrix.FormatCSR))
 	e.batchCrossover = defaultBatchCrossover
 	return op
 }
 
-// useIncumbent rewrites a decision to serve the tuned-CSR incumbent op and
-// records why (the hint overrode the asymptotic winner).
-func (d *Decision) useIncumbent(kernelName string, hasBatch bool) {
+// incumbentDecision rewrites d to serve the tuned-CSR incumbent op and
+// records why (the hint overrode the asymptotic winner), including the
+// incumbent's own parameters.
+func (t *Tuner[T]) incumbentDecision(d *Decision, op *Operator[T]) {
+	e := op.eng.Load()
 	d.Amortized = true
 	d.Converted = true
 	d.Chosen = matrix.FormatCSR
-	d.Kernel = kernelName
+	d.Kernel = e.kernel.Name
+	d.Params = t.decisionParams(matrix.FormatCSR, e.kernel)
 	d.BatchCrossover = 0
-	if hasBatch {
+	if e.batch != nil {
+		d.Params.BatchTile = e.batch.Params.BatchTile
 		d.BatchCrossover = defaultBatchCrossover
 	}
 }
@@ -250,8 +254,7 @@ func (t *Tuner[T]) amortize(m *matrix.CSR[T], d *Decision, op *Operator[T], opts
 		return op
 	}
 	inc := t.incumbent(m)
-	e := inc.eng.Load()
-	d.useIncumbent(e.kernel.Name, e.batch != nil)
+	t.incumbentDecision(d, inc)
 	return inc
 }
 
@@ -280,8 +283,7 @@ func (t *Tuner[T]) applyAmortized(m *matrix.CSR[T], d *Decision, entry CacheEntr
 		d.Predicted = entry.Format
 		d.PredictedOK = true
 		d.Confidence = entry.Confidence
-		e := op.eng.Load()
-		d.useIncumbent(e.kernel.Name, e.batch != nil)
+		t.incumbentDecision(d, op)
 		return op, nil
 	}
 
@@ -306,13 +308,14 @@ func (t *Tuner[T]) applyAmortized(m *matrix.CSR[T], d *Decision, entry CacheEntr
 	d.Confidence = entry.Confidence
 	d.Chosen = entry.Format
 	d.Kernel = t.cachedKernel(entry).Name
+	d.Params = entry.Params
 	d.ConvertSec = entry.ConvertSec // the cost being paid in the background
 	d.Converted = false
 	cross := entry.BatchCrossover
 	if cross < 2 {
 		cross = defaultBatchCrossover
 	}
-	if t.lib.BatchFor(entry.Format) != nil {
+	if t.lib.BatchForParams(entry.Format, entry.Params) != nil {
 		d.BatchCrossover = cross
 	}
 	go t.convertWorker(op, m, entry, cross, opts.HoldConversion)
@@ -332,7 +335,7 @@ func (t *Tuner[T]) convertWorker(op *Operator[T], m *matrix.CSR[T], entry CacheE
 	if hold != nil {
 		<-hold
 	}
-	mat, _, err := kernels.ConvertTimed(m, entry.Format, t.model.MaxFill)
+	mat, _, err := kernels.ConvertTimedParams(m, entry.Format, t.model.MaxFill, entry.Params)
 	if err != nil {
 		op.convState.Store(int32(ConvertFailed))
 		return
@@ -340,7 +343,7 @@ func (t *Tuner[T]) convertWorker(op *Operator[T], m *matrix.CSR[T], entry CacheE
 	e := &engine[T]{
 		mat:            mat,
 		kernel:         t.cachedKernel(entry),
-		batch:          t.lib.BatchFor(entry.Format),
+		batch:          t.lib.BatchForParams(entry.Format, entry.Params),
 		batchCrossover: crossover,
 	}
 	op.eng.Store(e)
@@ -358,7 +361,7 @@ func (t *Tuner[T]) tuneHinted(m *matrix.CSR[T], d *Decision, opts TuneOptions) (
 	if k == nil {
 		return nil, fmt.Errorf("autotune: no kernel registered for hinted format %v", f)
 	}
-	mat, timing, err := kernels.ConvertTimed(m, f, t.model.MaxFill)
+	mat, timing, err := kernels.ConvertTimedParams(m, f, t.model.MaxFill, t.paramsFor(f))
 	d.ConvertSec = timing.Sec
 	if err != nil {
 		return nil, err
@@ -370,6 +373,7 @@ func (t *Tuner[T]) tuneHinted(m *matrix.CSR[T], d *Decision, opts TuneOptions) (
 	d.Chosen = f
 	d.Asymptotic = f
 	d.Kernel = k.Name
+	d.Params = t.decisionParams(f, k)
 	d.Converted = true
 	op := newOperator(mat, k, t.pool, m.NNZ())
 	t.accountCSRBaseline(m, d)

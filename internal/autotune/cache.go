@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"smat/internal/features"
+	"smat/internal/kernels"
 	"smat/internal/matrix"
 )
 
@@ -28,6 +29,11 @@ type CacheEntry struct {
 	Kernel     string
 	Confidence float64
 	Measured   bool
+	// Params carries the leader's kernel parameters (conversion knobs like
+	// the BCSR block shape or the HYB width cut, plus the batch register
+	// tile): cache hits convert and bind with the same parameters, so a
+	// parameterized decision survives the cache unchanged.
+	Params kernels.Params
 	// BatchCrossover is the leader's measured batch-width crossover (see
 	// Decision.BatchCrossover); cache hits reuse it instead of re-probing.
 	// Zero means the probe never ran — appliers substitute a default.

@@ -7,20 +7,29 @@ import (
 	"io"
 
 	"smat/internal/features"
+	"smat/internal/kernels"
 	"smat/internal/matrix"
 	"smat/internal/mining"
 )
 
+// DatabaseSchemaVersion is the newest record schema this build writes.
+// Version-1 rows (no schema field, no params) load unchanged and retrain
+// byte-identically: the parameter map is purely additive.
+const DatabaseSchemaVersion = 2
+
 // Record is one row of the feature database (the "Feature Database" box of
 // the paper's Figure 4): a matrix's identity, its Table 2 feature values,
 // and its measured per-format performance with the resulting best-format
-// label.
+// label. Schema-v2 rows additionally carry the per-format winning kernel
+// parameters from the labeling-time parameter walk.
 type Record struct {
-	Name     string             `json:"name"`
-	Domain   string             `json:"domain,omitempty"`
-	Features features.Features  `json:"features"`
-	Best     string             `json:"best"`
-	GFLOPS   map[string]float64 `json:"gflops,omitempty"`
+	Schema   int                       `json:"schema,omitempty"`
+	Name     string                    `json:"name"`
+	Domain   string                    `json:"domain,omitempty"`
+	Features features.Features         `json:"features"`
+	Best     string                    `json:"best"`
+	GFLOPS   map[string]float64        `json:"gflops,omitempty"`
+	Params   map[string]kernels.Params `json:"params,omitempty"`
 }
 
 // Database is the accumulated training evidence. The paper calls out that
@@ -30,19 +39,34 @@ type Database struct {
 	Records []Record
 }
 
-// Append adds a labeled matrix to the database.
+// Append adds a labeled matrix to the database as a schema-v1 row.
 func (db *Database) Append(name, domain string, f features.Features, lbl Label) {
+	db.AppendParams(name, domain, f, lbl, nil)
+}
+
+// AppendParams adds a labeled matrix together with its per-format winning
+// kernel parameters. A nil or empty params map produces a plain v1 row, so
+// databases mixing both schemas stay valid.
+func (db *Database) AppendParams(name, domain string, f features.Features, lbl Label, params map[matrix.Format]kernels.Params) {
 	g := make(map[string]float64, len(lbl.GFLOPS))
 	for fmtID, v := range lbl.GFLOPS {
 		g[fmtID.String()] = v
 	}
-	db.Records = append(db.Records, Record{
+	rec := Record{
 		Name:     name,
 		Domain:   domain,
 		Features: f,
 		Best:     lbl.Best.String(),
 		GFLOPS:   g,
-	})
+	}
+	if len(params) > 0 {
+		rec.Schema = DatabaseSchemaVersion
+		rec.Params = make(map[string]kernels.Params, len(params))
+		for fmtID, p := range params {
+			rec.Params[fmtID.String()] = p
+		}
+	}
+	db.Records = append(db.Records, rec)
 }
 
 // Save writes the database as JSON lines (one record per line), a format
@@ -73,6 +97,10 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		var rec Record
 		if err := json.Unmarshal(text, &rec); err != nil {
 			return nil, fmt.Errorf("autotune: database line %d: %w", line, err)
+		}
+		if rec.Schema > DatabaseSchemaVersion {
+			return nil, fmt.Errorf("autotune: database line %d: schema version %d is newer than this build supports (%d)",
+				line, rec.Schema, DatabaseSchemaVersion)
 		}
 		if _, err := matrix.ParseFormat(rec.Best); err != nil {
 			return nil, fmt.Errorf("autotune: database line %d: %w", line, err)

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"smat/internal/features"
 	"smat/internal/kernels"
 	"smat/internal/matrix"
 )
@@ -76,4 +77,31 @@ func (l *Labeler) Label(m *matrix.CSR[float64]) Label {
 		}
 	}
 	return lbl
+}
+
+// LabelParams is Label with the per-matrix parameter walk: each format's
+// ground truth is the best over its whole tunable space (kernel instances ×
+// conversion parameters, feature-pruned), and the winning parameters are
+// returned per format so the database can record them. ft is the matrix's
+// already-extracted feature row; formats whose walk was fully pruned or
+// infeasible are absent from both maps.
+func (l *Labeler) LabelParams(m *matrix.CSR[float64], ft *features.Features) (Label, map[matrix.Format]kernels.Params) {
+	lbl := Label{Best: matrix.FormatCSR, GFLOPS: map[matrix.Format]float64{}}
+	params := map[matrix.Format]kernels.Params{}
+	best := 0.0
+	for _, f := range matrix.Formats {
+		res := SearchMatrixParams(l.lib, m, ft, f, l.threads, l.measure)
+		if res.Kernel == "" {
+			continue
+		}
+		lbl.GFLOPS[f] = res.GFLOPS
+		if !res.Params.IsZero() {
+			params[f] = res.Params
+		}
+		if res.GFLOPS > best {
+			best = res.GFLOPS
+			lbl.Best = f
+		}
+	}
+	return lbl, params
 }

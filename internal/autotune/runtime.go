@@ -39,6 +39,14 @@ type Decision struct {
 	Chosen matrix.Format
 	Kernel string
 
+	// Params records the tunable parameters behind the decision: the
+	// conversion-level knobs the operator's matrix was materialised with
+	// (BCSR block shape, HYB width cut), the chosen kernel instance's unroll
+	// depth, and the batch register tile bound by the crossover probe. The
+	// zero value means the fixed menu — a v1 model, or a format the search
+	// left at its defaults.
+	Params kernels.Params
+
 	// IterationHint is the caller's expected number of remaining SpMVs
 	// (TuneOptions.Iterations); 0 when the caller gave none, in which case
 	// the decision is the paper's asymptotic one and the amortisation fields
@@ -423,6 +431,43 @@ func (t *Tuner[T]) kernelFor(f matrix.Format) *kernels.Kernel[T] {
 	return t.lib.Basic(f)
 }
 
+// paramsFor resolves the model's searched parameters for a format: the zero
+// Params (fixed menu) for v1 models and for formats the search left at
+// their defaults.
+func (t *Tuner[T]) paramsFor(f matrix.Format) kernels.Params {
+	if t.model.Params == nil {
+		return kernels.Params{}
+	}
+	return t.model.Params[f.String()]
+}
+
+// decisionParams merges the model's format-level parameters with the chosen
+// kernel instance's own (the unroll depth rides on the registered instance,
+// the conversion knobs on the model).
+func (t *Tuner[T]) decisionParams(f matrix.Format, k *kernels.Kernel[T]) kernels.Params {
+	p := t.paramsFor(f)
+	if k != nil && k.Params.Unroll != 0 {
+		p.Unroll = k.Params.Unroll
+	}
+	return p
+}
+
+// formatFeasible is feasible plus the model's searched DIA density gate: a
+// v2 model that tuned DIA under a minimum diagonal density re-applies that
+// bound at prediction time, so a hypersparse tally never converts to DIA on
+// a rule match alone.
+func (t *Tuner[T]) formatFeasible(f matrix.Format, ft *features.Features, maxFill float64) bool {
+	if !feasible(f, ft, maxFill) {
+		return false
+	}
+	if f == matrix.FormatDIA {
+		if dmin := t.paramsFor(f).DIAMinDensity; dmin > 0 && ft.ERDIA < dmin {
+			return false
+		}
+	}
+	return true
+}
+
 // Tune runs the paper's Figure 7 runtime procedure on a CSR matrix: feature
 // extraction, then — unless the feature-keyed decision cache already holds
 // the answer — ordered rule-group evaluation against the confidence
@@ -483,6 +528,7 @@ func (t *Tuner[T]) TuneOpts(m *matrix.CSR[T], opts TuneOptions) (*Operator[T], *
 			Kernel:         d.Kernel,
 			Confidence:     conf,
 			Measured:       d.UsedFallback,
+			Params:         d.Params,
 			BatchCrossover: d.BatchCrossover,
 			ConvertSec:     d.ConvertSec,
 			SpMVSec:        d.ChosenSpMVSec,
@@ -515,7 +561,7 @@ func (t *Tuner[T]) TuneOpts(m *matrix.CSR[T], opts TuneOptions) (*Operator[T], *
 // the cached format and bind the cached kernel. It fails only when the
 // format's zero-fill guard rejects this particular matrix.
 func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Operator[T], error) {
-	mat, timing, err := kernels.ConvertTimed(m, entry.Format, t.model.MaxFill)
+	mat, timing, err := kernels.ConvertTimedParams(m, entry.Format, t.model.MaxFill, entry.Params)
 	d.ConvertSec = timing.Sec
 	if err != nil {
 		return nil, err
@@ -528,13 +574,14 @@ func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Oper
 	d.Confidence = entry.Confidence
 	d.Chosen = entry.Format
 	d.Kernel = k.Name
+	d.Params = entry.Params
 	d.Converted = true
 	op := newOperator(mat, k, t.pool, m.NNZ())
 	// Reuse the leader's measured crossover instead of re-probing: cache hits
 	// stay measurement-free. Entries predating the probe (< 2 can never be a
 	// real crossover) fall back to the register-tile width.
 	e := op.eng.Load()
-	e.batch = t.lib.BatchFor(entry.Format)
+	e.batch = t.lib.BatchForParams(entry.Format, entry.Params)
 	e.batchCrossover = entry.BatchCrossover
 	if e.batchCrossover < 2 {
 		e.batchCrossover = defaultBatchCrossover
@@ -580,7 +627,7 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 		if !matched {
 			continue
 		}
-		if conf > t.threshold && feasible(f, &d.Features, t.model.MaxFill) {
+		if conf > t.threshold && t.formatFeasible(f, &d.Features, t.model.MaxFill) {
 			d.Predicted = f
 			d.PredictedOK = true
 			d.Confidence = conf
@@ -589,13 +636,14 @@ func (t *Tuner[T]) decide(m *matrix.CSR[T], d *Decision) (*Operator[T], error) {
 	}
 
 	if d.PredictedOK {
-		mat, timing, err := kernels.ConvertTimed(m, d.Predicted, t.model.MaxFill)
+		mat, timing, err := kernels.ConvertTimedParams(m, d.Predicted, t.model.MaxFill, t.paramsFor(d.Predicted))
 		d.ConvertSec = timing.Sec
 		if err == nil {
 			d.ConvertStored = timing.Stored
 			d.Chosen = d.Predicted
 			k := t.kernelFor(d.Chosen)
 			d.Kernel = k.Name
+			d.Params = t.decisionParams(d.Chosen, k)
 			op := newOperator(mat, k, t.pool, m.NNZ())
 			t.finish(m, d, op)
 			return op, nil
@@ -644,10 +692,14 @@ var batchProbeWidths = [...]int{2, 4, 8}
 func (t *Tuner[T]) bindBatch(op *Operator[T], d *Decision) {
 	e := op.eng.Load()
 	e.batchCrossover = NeverBatch
-	e.batch = t.lib.BatchFor(e.mat.Format)
+	e.batch = t.lib.BatchForParams(e.mat.Format, d.Params)
 	if e.batch == nil {
 		return
 	}
+	// Record the register tile actually bound (the searched width, or the
+	// format's default when the model carried none) so the cache entry and
+	// the decision report the full parameter set.
+	d.Params.BatchTile = e.batch.Params.BatchTile
 	if op.nnz == 0 {
 		// Nothing to measure; both paths are trivially cheap, so prefer the
 		// tiled kernel (one pass instead of k) at every width.
@@ -712,16 +764,16 @@ func (t *Tuner[T]) bestEffort(m *matrix.CSR[T], d *Decision, fv []float64) (*Ope
 	bestConf := 0.0
 	for _, f := range matrix.Formats {
 		conf, matched := t.groupConfidence(fv, f)
-		if matched && conf > bestConf && feasible(f, &d.Features, t.model.MaxFill) {
+		if matched && conf > bestConf && t.formatFeasible(f, &d.Features, t.model.MaxFill) {
 			best, bestConf = f, conf
 		}
 	}
-	mat, timing, err := kernels.ConvertTimed(m, best, t.model.MaxFill)
+	mat, timing, err := kernels.ConvertTimedParams(m, best, t.model.MaxFill, t.paramsFor(best))
 	if err != nil {
 		// The fill guard can still reject a feature-feasible format on edge
 		// cases; CSR always converts.
 		best, bestConf = matrix.FormatCSR, 0
-		mat, timing, err = kernels.ConvertTimed(m, best, t.model.MaxFill)
+		mat, timing, err = kernels.ConvertTimedParams(m, best, t.model.MaxFill, t.paramsFor(best))
 		if err != nil {
 			return nil, err
 		}
@@ -732,6 +784,7 @@ func (t *Tuner[T]) bestEffort(m *matrix.CSR[T], d *Decision, fv []float64) (*Ope
 	d.Chosen = best
 	k := t.kernelFor(best)
 	d.Kernel = k.Name
+	d.Params = t.decisionParams(best, k)
 	return newOperator(mat, k, t.pool, m.NNZ()), nil
 }
 
@@ -802,10 +855,10 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 		maxFill = t.model.MaxFill
 	}
 	for _, f := range matrix.Formats {
-		if !feasible(f, &d.Features, maxFill) {
+		if !t.formatFeasible(f, &d.Features, maxFill) {
 			continue
 		}
-		mat, timing, err := kernels.ConvertTimed(m, f, maxFill)
+		mat, timing, err := kernels.ConvertTimedParams(m, f, maxFill, t.paramsFor(f))
 		if err != nil {
 			continue
 		}
@@ -819,6 +872,7 @@ func (t *Tuner[T]) fallback(m *matrix.CSR[T], d *Decision) (*Operator[T], error)
 			best = g
 			bestOp = newOperator(mat, k, t.pool, m.NNZ())
 			bestTiming = timing
+			d.Params = t.decisionParams(f, k)
 		}
 	}
 	if bestOp == nil {

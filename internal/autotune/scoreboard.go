@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"smat/internal/features"
 	"smat/internal/gen"
 	"smat/internal/kernels"
 	"smat/internal/matrix"
@@ -112,6 +113,12 @@ func searchFormat(lib *kernels.Library[float64], f matrix.Format, cfg SearchConf
 	perf := map[kernels.Strategy]float64{}
 	name := map[kernels.Strategy]string{}
 	for _, k := range lib.ForFormat(f) {
+		if !k.Params.IsZero() {
+			// Parameterized instances share a strategy bitmask with their
+			// template (and with each other); scoring them here would collide
+			// in the per-combo table. The parameter walk measures them.
+			continue
+		}
 		sec := MeasureSecPerOp(func() { k.Run(mat, x, y, cfg.Threads) }, cfg.Measure)
 		g := GFLOPS(flops, sec)
 		res.Table = append(res.Table, PerfRecord{Kernel: k.Name, Strategies: k.Strategies, GFLOPS: g})
@@ -172,4 +179,139 @@ func searchFormat(lib *kernels.Library[float64], f matrix.Format, cfg SearchConf
 	}
 	res.Best = bestName
 	return res
+}
+
+// ParamChoice maps each format to its searched kernel parameters. A missing
+// or zero entry means the fixed menu (the hand-enumerated kernels with their
+// built-in constants) won.
+type ParamChoice map[matrix.Format]kernels.Params
+
+// searchMaxBlockFill prunes BCSR block shapes during the parameter walk: a
+// shape whose padding stores more than this multiple of NNZ moves more zeros
+// than the block structure can pay back, so it is skipped without being
+// converted or measured.
+const searchMaxBlockFill = 1.75
+
+// ParamSearchResult reports the parameter walk for one format on one matrix.
+type ParamSearchResult struct {
+	Format matrix.Format
+	// Kernel and Params describe the overall winner ("" when no candidate was
+	// feasible); GFLOPS is its measured rate.
+	Kernel string
+	Params kernels.Params
+	GFLOPS float64
+	// FixedKernel and FixedGFLOPS describe the best fixed-menu candidate
+	// (zero-parameter kernel on the default conversion) over the same
+	// measurements, the baseline the parameter search is judged against.
+	FixedKernel string
+	FixedGFLOPS float64
+	// Pruned lists the candidates the feature guards skipped, for search logs.
+	Pruned []string
+}
+
+// paramConvCandidates enumerates the conversion-level parameter candidates
+// for a format, pruning with the already-extracted features: BCSR block
+// shapes are skipped when their measured fill-in exceeds searchMaxBlockFill,
+// and the whole DIA walk is skipped upstream when the diagonal tally is
+// hypersparse. The zero Params (the format's default conversion) is always
+// the first candidate.
+func paramConvCandidates(m *matrix.CSR[float64], f matrix.Format, res *ParamSearchResult) []kernels.Params {
+	out := []kernels.Params{{}}
+	switch f {
+	case matrix.FormatBCSR:
+		for _, sh := range kernels.BCSRShapes {
+			if fill := matrix.BlockFill(m, sh[0], sh[1]); fill > searchMaxBlockFill {
+				res.Pruned = append(res.Pruned, kernels.Params{BlockR: sh[0], BlockC: sh[1]}.Suffix()+": block fill-in over bound")
+				continue
+			}
+			out = append(out, kernels.Params{BlockR: sh[0], BlockC: sh[1]})
+		}
+	case matrix.FormatHYB:
+		for _, cut := range kernels.HybCuts {
+			out = append(out, kernels.Params{HybCut: cut})
+		}
+	}
+	return out
+}
+
+// SearchMatrixParams walks the tunable parameter space of one format on one
+// matrix: every conversion-level candidate (BCSR block shape, ELL→HYB width
+// cut) crossed with every registered kernel instance of the format (unroll
+// depths ride in as parameterized registrations). Feature guards prune the
+// walk before anything is converted or timed — hypersparse diagonal tallies
+// skip DIA entirely, over-padding block shapes are dropped — so the search
+// stays within the same measurement budget class as the scoreboard. ft may
+// be nil to disable feature pruning.
+func SearchMatrixParams(lib *kernels.Library[float64], m *matrix.CSR[float64], ft *features.Features, f matrix.Format, threads int, measure MeasureOptions) ParamSearchResult {
+	measure = measure.withDefaults()
+	res := ParamSearchResult{Format: f}
+	if f == matrix.FormatDIA && ft != nil && ft.ERDIA < kernels.DefaultDIAMinDensity {
+		res.Pruned = append(res.Pruned, "dia: diagonal density below threshold")
+		return res
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, m.Rows)
+	flops := kernels.FLOPs(m.NNZ())
+	for _, cp := range paramConvCandidates(m, f, &res) {
+		mat, err := kernels.ConvertWithParams(m, f, DefaultMaxFill, cp)
+		if err != nil {
+			continue
+		}
+		for _, k := range lib.ForFormat(f) {
+			sec := MeasureSecPerOp(func() { k.Run(mat, x, y, threads) }, measure)
+			g := GFLOPS(flops, sec)
+			if g > res.GFLOPS {
+				p := cp
+				if k.Params.Unroll != 0 {
+					p.Unroll = k.Params.Unroll
+				}
+				res.GFLOPS, res.Params, res.Kernel = g, p, k.Name
+			}
+			if cp.IsZero() && k.Params.IsZero() && g > res.FixedGFLOPS {
+				res.FixedGFLOPS, res.FixedKernel = g, k.Name
+			}
+		}
+	}
+	if f == matrix.FormatDIA && res.Kernel != "" {
+		// Record the density gate the walk ran under: the runtime re-applies
+		// it before trusting a DIA prediction on a hypersparse tally.
+		res.Params.DIAMinDensity = kernels.DefaultDIAMinDensity
+	}
+	return res
+}
+
+// SearchKernelsParams runs the scoreboard kernel search and then walks each
+// format's tunable parameter space on the same probe matrix. The parameter
+// walk overrides the scoreboard's per-format choice only when a parameterized
+// instance beats the best fixed-menu candidate by more than the indifference
+// band; the winning parameters feed the schema-v2 model.
+func SearchKernelsParams(cfg SearchConfig) (KernelChoice, ParamChoice, []SearchResult, []ParamSearchResult) {
+	cfg.Measure = cfg.Measure.withDefaults()
+	if cfg.ProbeScale <= 0 || cfg.ProbeScale > 1 {
+		cfg.ProbeScale = 1
+	}
+	lib := kernels.NewLibrary[float64]()
+	choice := KernelChoice{}
+	params := ParamChoice{}
+	var results []SearchResult
+	var walks []ParamSearchResult
+	for _, f := range matrix.Formats {
+		res := searchFormat(lib, f, cfg)
+		results = append(results, res)
+		choice[f] = res.Best
+
+		probe := probeMatrix(f, cfg.ProbeScale, cfg.Seed+int64(f))
+		ft := features.Extract(probe)
+		walk := SearchMatrixParams(lib, probe, &ft, f, cfg.Threads, cfg.Measure)
+		walks = append(walks, walk)
+		gainGFLOPS := walk.GFLOPS - walk.FixedGFLOPS
+		if walk.Kernel != "" && !walk.Params.IsZero() && gainGFLOPS > indifferenceGFLOPS {
+			choice[f] = walk.Kernel
+			params[f] = walk.Params
+		}
+	}
+	return choice, params, results, walks
 }

@@ -8,6 +8,7 @@ import (
 
 	"smat/internal/corpus"
 	"smat/internal/features"
+	"smat/internal/kernels"
 	"smat/internal/matrix"
 	"smat/internal/mining"
 )
@@ -16,6 +17,11 @@ import (
 // only when its matched rule-group confidence exceeds this value, otherwise
 // the execute-and-measure fallback runs (Section 6).
 const DefaultConfidenceThreshold = 0.85
+
+// ModelSchemaVersion is the newest model schema this build writes. Version 1
+// models (no parameter map) load unchanged: a nil Params map means every
+// format runs its fixed-menu kernel with default parameters.
+const ModelSchemaVersion = 2
 
 // Model is the serialisable artifact of the off-line stage: the tailored
 // ruleset, the per-format kernel choice for the trained architecture
@@ -27,7 +33,12 @@ type Model struct {
 	ConfidenceThreshold float64           `json:"confidence_threshold"`
 	MaxFill             float64           `json:"max_fill"`
 	Kernels             map[string]string `json:"kernels"` // format name -> kernel name
-	Ruleset             *mining.Ruleset   `json:"ruleset"`
+	// Params is the schema-v2 addition: the per-format tunable parameters the
+	// off-line search settled on (conversion-level knobs like BCSR block shape
+	// and the HYB width cut, plus the batch register tile). Absent in v1
+	// models, where the zero Params — the fixed menu — applies everywhere.
+	Params  map[string]kernels.Params `json:"params,omitempty"`
+	Ruleset *mining.Ruleset           `json:"ruleset"`
 }
 
 // classNames maps mining class indices to format names; class index is the
@@ -71,6 +82,7 @@ type TrainConfig struct {
 type TrainResult struct {
 	Model         *Model
 	Search        []SearchResult
+	ParamSearch   []ParamSearchResult
 	Labels        []Label
 	Database      *Database
 	Dataset       *mining.Dataset
@@ -99,10 +111,11 @@ func Train(entries []*corpus.Entry, cfg TrainConfig) (*TrainResult, error) {
 
 	res := &TrainResult{}
 	var choice KernelChoice
+	var params ParamChoice
 	if cfg.SkipKernelSearch {
 		choice = KernelChoice{}
 	} else {
-		choice, res.Search = SearchKernels(SearchConfig{
+		choice, params, res.Search, res.ParamSearch = SearchKernelsParams(SearchConfig{
 			Threads:    cfg.Threads,
 			ProbeScale: cfg.ProbeScale,
 			Measure:    cfg.Measure,
@@ -111,15 +124,24 @@ func Train(entries []*corpus.Entry, cfg TrainConfig) (*TrainResult, error) {
 	}
 
 	// Labeling phase: measure every training matrix into the feature
-	// database (the paper's Figure 4 "Feature Database").
+	// database (the paper's Figure 4 "Feature Database"). With the kernel
+	// search on, labeling walks each format's parameter space per matrix and
+	// the database rows record the winning parameters (schema v2).
 	labeler := NewLabeler(choice, cfg.Threads, cfg.Measure)
 	db := &Database{}
 	for i, e := range entries {
 		m := e.Matrix()
 		f := features.Extract(m)
-		lbl := labeler.Label(m)
+		var lbl Label
+		if cfg.SkipKernelSearch {
+			lbl = labeler.Label(m)
+			db.Append(e.Name, e.Domain, f, lbl)
+		} else {
+			var perMatrix map[matrix.Format]kernels.Params
+			lbl, perMatrix = labeler.LabelParams(m, &f)
+			db.AppendParams(e.Name, e.Domain, f, lbl, perMatrix)
+		}
 		res.Labels = append(res.Labels, lbl)
-		db.Append(e.Name, e.Domain, f, lbl)
 		if cfg.Progress != nil {
 			cfg.Progress(i+1, len(entries))
 		}
@@ -132,8 +154,16 @@ func Train(entries []*corpus.Entry, cfg TrainConfig) (*TrainResult, error) {
 		return nil, err
 	}
 	learned.Search = res.Search
+	learned.ParamSearch = res.ParamSearch
 	learned.Labels = res.Labels
 	learned.Database = db
+	if len(params) > 0 {
+		learned.Model.Version = ModelSchemaVersion
+		learned.Model.Params = map[string]kernels.Params{}
+		for f, p := range params {
+			learned.Model.Params[f.String()] = p
+		}
+	}
 	return learned, nil
 }
 
@@ -144,11 +174,17 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// LoadModel reads a model written by Save and validates it.
+// LoadModel reads a model written by Save and validates it. Both schema
+// versions load: a v1 model simply has no parameter map, so every format
+// runs with the zero (fixed-menu) parameters.
 func LoadModel(r io.Reader) (*Model, error) {
 	var m Model
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("autotune: load model: %w", err)
+	}
+	if m.Version > ModelSchemaVersion {
+		return nil, fmt.Errorf("autotune: model schema version %d is newer than this build supports (%d)",
+			m.Version, ModelSchemaVersion)
 	}
 	if m.Ruleset == nil {
 		return nil, fmt.Errorf("autotune: model has no ruleset")

@@ -9,18 +9,15 @@ import "smat/internal/matrix"
 // arithmetic-intensity lever single-vector SpMV lacks (every A element read
 // from memory buys exactly one FLOP pair there).
 //
-// All batch kernels tile the RHS dimension with a fixed register tile of
-// width batchTile: full tiles keep four independent accumulators live per
-// matrix entry, and the remainder columns fall back to a scalar column loop
-// whose accumulation order matches the format's single-vector kernel — at
-// k=1 only the remainder loop runs, so csr_batch is bit-for-bit csr_basic,
-// dia_batch is bit-for-bit dia_rowmajor, and so on (pinned by the batched
-// oracle).
-
-// batchTile is the register-tile width of the batched kernels: each loaded
-// matrix entry feeds this many independent accumulators. Four keeps the live
-// register set small enough for the compiler on every format's inner loop.
-const batchTile = 4
+// All batch kernels tile the RHS dimension with a register tile whose width
+// is a template parameter (Params.BatchTile, one of BatchTiles): full tiles
+// keep that many independent accumulators live per matrix entry, and the
+// remainder columns fall back to a scalar column loop whose accumulation
+// order matches the format's single-vector kernel — at k=1 only the
+// remainder loop runs regardless of tile width, so csr_batch is bit-for-bit
+// csr_basic, dia_batch is bit-for-bit dia_rowmajor, and so on (pinned by the
+// batched oracle). The unsuffixed kernels use DefaultBatchTile(format); the
+// other widths are registered as parameter instances (see params.go).
 
 // allBatchKernels returns the stock batched kernels. Like allKernels, the
 // parallel variants bind their chunk functions at registration; every
@@ -29,19 +26,20 @@ const batchTile = 4
 func allBatchKernels[T matrix.Float]() []*BatchKernel[T] {
 	return []*BatchKernel[T]{
 		// CSR family.
-		{Name: "csr_batch", Format: matrix.FormatCSR, Strategies: 0, run: runCSRBatch[T]},
-		{Name: "csr_batch_unroll4", Format: matrix.FormatCSR, Strategies: StratUnroll4, run: runCSRBatchUnroll4[T]},
-		{Name: "csr_batch_parallel", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, run: runCSRBatchParallel[T]()},
-		{Name: "csr_batch_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, run: runCSRBatchParallelUnroll4[T]()},
+		{Name: "csr_batch", Format: matrix.FormatCSR, Strategies: 0, Params: Params{BatchTile: 4}, run: runCSRBatch[T]},
+		{Name: "csr_batch_unroll4", Format: matrix.FormatCSR, Strategies: StratUnroll4, Params: Params{BatchTile: 4}, run: runCSRBatchUnroll4[T]},
+		{Name: "csr_batch_parallel", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance, Params: Params{BatchTile: 4}, run: runCSRBatchParallel[T]()},
+		{Name: "csr_batch_parallel_unroll4", Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance | StratUnroll4, Params: Params{BatchTile: 4}, run: runCSRBatchParallelUnroll4[T]()},
 		// COO family.
-		{Name: "coo_batch", Format: matrix.FormatCOO, Strategies: 0, run: runCOOBatch[T]},
-		{Name: "coo_batch_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, run: runCOOBatchParallel[T]()},
+		{Name: "coo_batch", Format: matrix.FormatCOO, Strategies: 0, Params: Params{BatchTile: 4}, run: runCOOBatch[T]},
+		{Name: "coo_batch_parallel", Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance, Params: Params{BatchTile: 4}, run: runCOOBatchParallel[T]()},
 		// DIA family (row-major by construction: the interleaved Y tile makes
-		// write-once row traversal the natural batched order).
-		{Name: "dia_batch", Format: matrix.FormatDIA, Strategies: 0, run: runDIABatch[T]},
-		{Name: "dia_batch_parallel", Format: matrix.FormatDIA, Strategies: StratParallel, run: runDIABatchParallel[T]()},
+		// write-once row traversal the natural batched order; the default
+		// double-wide tile amortises the strided diagonal walk).
+		{Name: "dia_batch", Format: matrix.FormatDIA, Strategies: 0, Params: Params{BatchTile: 8}, run: runDIABatch[T]},
+		{Name: "dia_batch_parallel", Format: matrix.FormatDIA, Strategies: StratParallel, Params: Params{BatchTile: 8}, run: runDIABatchParallel[T]()},
 		// ELL family (row-major, same reasoning as DIA).
-		{Name: "ell_batch", Format: matrix.FormatELL, Strategies: 0, run: runELLBatch[T]},
-		{Name: "ell_batch_parallel", Format: matrix.FormatELL, Strategies: StratParallel, run: runELLBatchParallel[T]()},
+		{Name: "ell_batch", Format: matrix.FormatELL, Strategies: 0, Params: Params{BatchTile: 8}, run: runELLBatch[T]},
+		{Name: "ell_batch_parallel", Format: matrix.FormatELL, Strategies: StratParallel, Params: Params{BatchTile: 8}, run: runELLBatchParallel[T]()},
 	}
 }

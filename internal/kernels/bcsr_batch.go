@@ -33,7 +33,7 @@ func bcsrBatchRange[T matrix.Float](m *matrix.BCSR[T], xb, yb []T, k, lo, hi int
 				row := blk[lr*bc:]
 				yr := ySeg[lr*k : (lr+1)*k]
 				j := 0
-				for ; j+batchTile <= k; j += batchTile {
+				for ; j+4 <= k; j += 4 {
 					var s0, s1, s2, s3 T
 					for lc := 0; lc < width; lc++ {
 						v := row[lc]
@@ -76,6 +76,150 @@ func runBCSRBatchParallel[T matrix.Float]() batchFn[T] {
 	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
 		if ex.plan.Serial {
 			bcsrBatchRange(m.BCSR, xb, yb, k, 0, m.BCSR.BlockRows())
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, xb, yb, k)
+	}
+}
+
+// bcsrBatchRangeT2 is the two-accumulator tile of the generic block body.
+//
+//smat:hotpath
+func bcsrBatchRangeT2[T matrix.Float](m *matrix.BCSR[T], xb, yb []T, k, lo, hi int) {
+	br, bc := m.BR, m.BC
+	for bi := lo; bi < hi; bi++ {
+		baseRow := bi * br
+		height := br
+		if baseRow+height > m.Rows {
+			height = m.Rows - baseRow
+		}
+		ySeg := yb[baseRow*k : (baseRow+height)*k]
+		clear(ySeg)
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			baseCol := m.ColIdx[s] * bc
+			blk := m.Blocks[s*br*bc : (s+1)*br*bc]
+			width := bc
+			if baseCol+width > m.Cols {
+				width = m.Cols - baseCol
+			}
+			for lr := 0; lr < height; lr++ {
+				row := blk[lr*bc:]
+				yr := ySeg[lr*k : (lr+1)*k]
+				j := 0
+				for ; j+2 <= k; j += 2 {
+					var s0, s1 T
+					for lc := 0; lc < width; lc++ {
+						v := row[lc]
+						xc := xb[(baseCol+lc)*k+j:]
+						s0 += v * xc[0]
+						s1 += v * xc[1]
+					}
+					yr[j] += s0
+					yr[j+1] += s1
+				}
+				for ; j < k; j++ {
+					var sum T
+					for lc := 0; lc < width; lc++ {
+						sum += row[lc] * xb[(baseCol+lc)*k+j]
+					}
+					yr[j] += sum
+				}
+			}
+		}
+	}
+}
+
+// bcsrBatchRangeT8 is the eight-accumulator tile of the generic block body.
+//
+//smat:hotpath
+func bcsrBatchRangeT8[T matrix.Float](m *matrix.BCSR[T], xb, yb []T, k, lo, hi int) {
+	br, bc := m.BR, m.BC
+	for bi := lo; bi < hi; bi++ {
+		baseRow := bi * br
+		height := br
+		if baseRow+height > m.Rows {
+			height = m.Rows - baseRow
+		}
+		ySeg := yb[baseRow*k : (baseRow+height)*k]
+		clear(ySeg)
+		for s := m.RowPtr[bi]; s < m.RowPtr[bi+1]; s++ {
+			baseCol := m.ColIdx[s] * bc
+			blk := m.Blocks[s*br*bc : (s+1)*br*bc]
+			width := bc
+			if baseCol+width > m.Cols {
+				width = m.Cols - baseCol
+			}
+			for lr := 0; lr < height; lr++ {
+				row := blk[lr*bc:]
+				yr := ySeg[lr*k : (lr+1)*k]
+				j := 0
+				for ; j+8 <= k; j += 8 {
+					var s0, s1, s2, s3, s4, s5, s6, s7 T
+					for lc := 0; lc < width; lc++ {
+						v := row[lc]
+						xc := xb[(baseCol+lc)*k+j:]
+						s0 += v * xc[0]
+						s1 += v * xc[1]
+						s2 += v * xc[2]
+						s3 += v * xc[3]
+						s4 += v * xc[4]
+						s5 += v * xc[5]
+						s6 += v * xc[6]
+						s7 += v * xc[7]
+					}
+					yr[j] += s0
+					yr[j+1] += s1
+					yr[j+2] += s2
+					yr[j+3] += s3
+					yr[j+4] += s4
+					yr[j+5] += s5
+					yr[j+6] += s6
+					yr[j+7] += s7
+				}
+				for ; j < k; j++ {
+					var sum T
+					for lc := 0; lc < width; lc++ {
+						sum += row[lc] * xb[(baseCol+lc)*k+j]
+					}
+					yr[j] += sum
+				}
+			}
+		}
+	}
+}
+
+//smat:hotpath
+func bcsrBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	bcsrBatchRangeT2(m.BCSR, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func bcsrBatchChunkT8[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	bcsrBatchRangeT8(m.BCSR, xb, yb, k, lo, hi)
+}
+
+// bcsrBatchChunkTile resolves the chunk body for a register-tile width at
+// registration.
+func bcsrBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](bcsrBatchChunkT2[T])
+	case 8:
+		return rangeFn[T](bcsrBatchChunkT8[T])
+	default:
+		return rangeFn[T](bcsrBatchChunk[T])
+	}
+}
+
+// runBCSRBatchParallelTile instantiates the parallel batched BCSR kernel at a
+// register-tile width, resolved to a chunk funcval at bind time.
+//
+//smat:hotpath-factory
+func runBCSRBatchParallelTile[T matrix.Float](tile int) batchFn[T] {
+	chunk := bcsrBatchChunkTile[T](tile)
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, xb, yb, k, 0, m.BCSR.BlockRows())
 			return
 		}
 		ex.dispatch(ex.plan.RowBounds, chunk, m, xb, yb, k)

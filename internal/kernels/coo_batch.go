@@ -3,10 +3,12 @@ package kernels
 import "smat/internal/matrix"
 
 // cooBatchRange accumulates entries [lo, hi) into yb for k interleaved
-// right-hand sides. Callers must have zeroed the affected rows of yb. The
-// per-entry column loop is the unit-stride streak the interleaved layout
-// buys: one rows[i]/cols[i]/vals[i] load feeds k multiply-adds. At k=1 only
-// the remainder step runs, matching cooRange's order (bit-for-bit coo_basic).
+// right-hand sides at COO's default register-tile width of four. Callers must
+// have zeroed the affected rows of yb. The per-entry column loop is the
+// unit-stride streak the interleaved layout buys: one rows[i]/cols[i]/vals[i]
+// load feeds k multiply-adds. At k=1 only the remainder step runs, matching
+// cooRange's order (bit-for-bit coo_basic). cooBatchRangeT2/T8 are the other
+// searched tile widths (BatchTiles).
 //
 //smat:hotpath
 func cooBatchRange[T matrix.Float](m *matrix.COO[T], xb, yb []T, k, lo, hi int) {
@@ -16,11 +18,53 @@ func cooBatchRange[T matrix.Float](m *matrix.COO[T], xb, yb []T, k, lo, hi int) 
 		yr := yb[rows[i]*k:]
 		xc := xb[cols[i]*k:]
 		j := 0
-		for ; j+batchTile <= k; j += batchTile {
+		for ; j+4 <= k; j += 4 {
 			yr[j] += v * xc[j]
 			yr[j+1] += v * xc[j+1]
 			yr[j+2] += v * xc[j+2]
 			yr[j+3] += v * xc[j+3]
+		}
+		for ; j < k; j++ {
+			yr[j] += v * xc[j]
+		}
+	}
+}
+
+//smat:hotpath
+func cooBatchRangeT2[T matrix.Float](m *matrix.COO[T], xb, yb []T, k, lo, hi int) {
+	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		v := vals[i]
+		yr := yb[rows[i]*k:]
+		xc := xb[cols[i]*k:]
+		j := 0
+		for ; j+2 <= k; j += 2 {
+			yr[j] += v * xc[j]
+			yr[j+1] += v * xc[j+1]
+		}
+		for ; j < k; j++ {
+			yr[j] += v * xc[j]
+		}
+	}
+}
+
+//smat:hotpath
+func cooBatchRangeT8[T matrix.Float](m *matrix.COO[T], xb, yb []T, k, lo, hi int) {
+	rows, cols, vals := m.RowIdx, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		v := vals[i]
+		yr := yb[rows[i]*k:]
+		xc := xb[cols[i]*k:]
+		j := 0
+		for ; j+8 <= k; j += 8 {
+			yr[j] += v * xc[j]
+			yr[j+1] += v * xc[j+1]
+			yr[j+2] += v * xc[j+2]
+			yr[j+3] += v * xc[j+3]
+			yr[j+4] += v * xc[j+4]
+			yr[j+5] += v * xc[j+5]
+			yr[j+6] += v * xc[j+6]
+			yr[j+7] += v * xc[j+7]
 		}
 		for ; j < k; j++ {
 			yr[j] += v * xc[j]
@@ -56,4 +100,83 @@ func runCOOBatchParallel[T matrix.Float]() batchFn[T] {
 		}
 		ex.dispatch(ex.plan.EntryBounds, chunk, m, xb, yb, k)
 	}
+}
+
+// Accumulate-only chunk adapters for the non-default tile widths (used by the
+// serial branch, which clears yb wholesale first, and by the HYB tail).
+//
+//smat:hotpath
+func cooBatchAccChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRangeT2(m.COO, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func cooBatchAccChunkT8[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRangeT8(m.COO, xb, yb, k, lo, hi)
+}
+
+// Clear-then-accumulate chunks for the parallel phase, mirroring
+// cooBatchChunk at the other tile widths.
+//
+//smat:hotpath
+func cooBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	rLo, rHi := cooChunkRows(m.COO, lo, hi)
+	clear(yb[rLo*k : rHi*k])
+	cooBatchRangeT2(m.COO, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func cooBatchChunkT8[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	rLo, rHi := cooChunkRows(m.COO, lo, hi)
+	clear(yb[rLo*k : rHi*k])
+	cooBatchRangeT8(m.COO, xb, yb, k, lo, hi)
+}
+
+// cooBatchAccTile / cooBatchChunkTile resolve the accumulate-only and
+// clear-then-accumulate chunk bodies for a register-tile width at
+// registration.
+func cooBatchAccTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](cooBatchAccChunkT2[T])
+	case 8:
+		return rangeFn[T](cooBatchAccChunkT8[T])
+	default:
+		return rangeFn[T](cooBatchAccChunk[T])
+	}
+}
+
+func cooBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](cooBatchChunkT2[T])
+	case 8:
+		return rangeFn[T](cooBatchChunkT8[T])
+	default:
+		return rangeFn[T](cooBatchChunk[T])
+	}
+}
+
+// runCOOBatchParallelTile instantiates the parallel batched COO kernel at a
+// register-tile width, both funcvals resolved at bind time.
+//
+//smat:hotpath-factory
+func runCOOBatchParallelTile[T matrix.Float](tile int) batchFn[T] {
+	acc := cooBatchAccTile[T](tile)
+	chunk := cooBatchChunkTile[T](tile)
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			clear(yb)
+			acc(m, xb, yb, k, 0, m.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, chunk, m, xb, yb, k)
+	}
+}
+
+// cooBatchAccChunk is the default-tile accumulate-only adapter.
+//
+//smat:hotpath
+func cooBatchAccChunk[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRange(m.COO, xb, yb, k, lo, hi)
 }

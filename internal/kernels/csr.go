@@ -109,3 +109,90 @@ func runCSRParallelNNZUnroll4[T matrix.Float]() runFn[T] {
 		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y, 1)
 	}
 }
+
+// csrRowRangeUnroll2 / csrRowRangeUnroll8 are the remaining points of the
+// searched unroll space (UnrollDepths): the same independent-partial-sum
+// shape as csrRowRangeUnroll4 at depth two and eight.
+//
+//smat:hotpath
+func csrRowRangeUnroll2[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		var s0, s1 T
+		jj := start
+		for ; jj+2 <= end; jj += 2 {
+			s0 += x[colIdx[jj]] * vals[jj]
+			s1 += x[colIdx[jj+1]] * vals[jj+1]
+		}
+		for ; jj < end; jj++ {
+			s0 += x[colIdx[jj]] * vals[jj]
+		}
+		y[i] = s0 + s1
+	}
+}
+
+//smat:hotpath
+func csrRowRangeUnroll8[T matrix.Float](m *matrix.CSR[T], x, y []T, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		var s0, s1, s2, s3, s4, s5, s6, s7 T
+		jj := start
+		for ; jj+8 <= end; jj += 8 {
+			s0 += x[colIdx[jj]] * vals[jj]
+			s1 += x[colIdx[jj+1]] * vals[jj+1]
+			s2 += x[colIdx[jj+2]] * vals[jj+2]
+			s3 += x[colIdx[jj+3]] * vals[jj+3]
+			s4 += x[colIdx[jj+4]] * vals[jj+4]
+			s5 += x[colIdx[jj+5]] * vals[jj+5]
+			s6 += x[colIdx[jj+6]] * vals[jj+6]
+			s7 += x[colIdx[jj+7]] * vals[jj+7]
+		}
+		for ; jj < end; jj++ {
+			s0 += x[colIdx[jj]] * vals[jj]
+		}
+		y[i] = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	}
+}
+
+//smat:hotpath
+func csrChunkUnroll2[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	csrRowRangeUnroll2(m.CSR, x, y, lo, hi)
+}
+
+//smat:hotpath
+func csrChunkUnroll8[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	csrRowRangeUnroll8(m.CSR, x, y, lo, hi)
+}
+
+// csrChunkUnroll resolves the chunk body for an unroll depth — called once at
+// registration by the parameterized factory, never per SpMV.
+func csrChunkUnroll[T matrix.Float](u int) rangeFn[T] {
+	switch u {
+	case 2:
+		return rangeFn[T](csrChunkUnroll2[T])
+	case 8:
+		return rangeFn[T](csrChunkUnroll8[T])
+	case 4:
+		return rangeFn[T](csrChunkUnroll4[T])
+	default:
+		return rangeFn[T](csrChunk[T])
+	}
+}
+
+// runCSRParallelNNZUnroll instantiates the NNZ-balanced parallel CSR kernel
+// at an unroll depth: the depth is resolved to a chunk funcval here, at bind
+// time, so the returned closure carries no per-call parameter dispatch.
+//
+//smat:hotpath-factory
+func runCSRParallelNNZUnroll[T matrix.Float](u int) runFn[T] {
+	chunk := csrChunkUnroll[T](u)
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, x, y, 1, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, x, y, 1)
+	}
+}

@@ -3,9 +3,11 @@ package kernels
 import "smat/internal/matrix"
 
 // csrBatchRange computes rows [lo, hi) of Y = A·X for k interleaved
-// right-hand sides. Full tiles of batchTile columns keep four independent
-// accumulators per loaded matrix entry; remainder columns run the scalar
-// loop in csrRowRange's accumulation order, so k=1 is bit-for-bit csr_basic.
+// right-hand sides at CSR's default register-tile width of four: full tiles
+// keep four independent accumulators per loaded matrix entry; remainder
+// columns run the scalar loop in csrRowRange's accumulation order, so k=1 is
+// bit-for-bit csr_basic. csrBatchRangeT2/T8 are the other searched tile
+// widths (BatchTiles).
 //
 //smat:hotpath
 func csrBatchRange[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) {
@@ -14,7 +16,7 @@ func csrBatchRange[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) 
 		start, end := rowPtr[i], rowPtr[i+1]
 		yr := yb[i*k : (i+1)*k]
 		j := 0
-		for ; j+batchTile <= k; j += batchTile {
+		for ; j+4 <= k; j += 4 {
 			var s0, s1, s2, s3 T
 			for jj := start; jj < end; jj++ {
 				v := vals[jj]
@@ -48,7 +50,7 @@ func csrBatchRangeUnroll4[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, h
 		start, end := rowPtr[i], rowPtr[i+1]
 		yr := yb[i*k : (i+1)*k]
 		j := 0
-		for ; j+batchTile <= k; j += batchTile {
+		for ; j+4 <= k; j += 4 {
 			var s0, s1, s2, s3 T
 			for jj := start; jj < end; jj++ {
 				v := vals[jj]
@@ -115,6 +117,109 @@ func runCSRBatchParallelUnroll4[T matrix.Float]() batchFn[T] {
 	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
 		if ex.plan.Serial {
 			csrBatchRangeUnroll4(m.CSR, xb, yb, k, 0, m.CSR.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.NNZBounds, chunk, m, xb, yb, k)
+	}
+}
+
+// csrBatchRangeT2 is csrBatchRange at tile width two.
+//
+//smat:hotpath
+func csrBatchRangeT2[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		yr := yb[i*k : (i+1)*k]
+		j := 0
+		for ; j+2 <= k; j += 2 {
+			var s0, s1 T
+			for jj := start; jj < end; jj++ {
+				v := vals[jj]
+				xc := xb[colIdx[jj]*k+j:]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+			}
+			yr[j], yr[j+1] = s0, s1
+		}
+		for ; j < k; j++ {
+			var sum T
+			for jj := start; jj < end; jj++ {
+				sum += xb[colIdx[jj]*k+j] * vals[jj]
+			}
+			yr[j] = sum
+		}
+	}
+}
+
+// csrBatchRangeT8 is csrBatchRange at tile width eight.
+//
+//smat:hotpath
+func csrBatchRangeT8[T matrix.Float](m *matrix.CSR[T], xb, yb []T, k, lo, hi int) {
+	rowPtr, colIdx, vals := m.RowPtr, m.ColIdx, m.Vals
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		yr := yb[i*k : (i+1)*k]
+		j := 0
+		for ; j+8 <= k; j += 8 {
+			var s0, s1, s2, s3, s4, s5, s6, s7 T
+			for jj := start; jj < end; jj++ {
+				v := vals[jj]
+				xc := xb[colIdx[jj]*k+j : colIdx[jj]*k+j+8]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+				s2 += v * xc[2]
+				s3 += v * xc[3]
+				s4 += v * xc[4]
+				s5 += v * xc[5]
+				s6 += v * xc[6]
+				s7 += v * xc[7]
+			}
+			yr[j], yr[j+1], yr[j+2], yr[j+3] = s0, s1, s2, s3
+			yr[j+4], yr[j+5], yr[j+6], yr[j+7] = s4, s5, s6, s7
+		}
+		for ; j < k; j++ {
+			var sum T
+			for jj := start; jj < end; jj++ {
+				sum += xb[colIdx[jj]*k+j] * vals[jj]
+			}
+			yr[j] = sum
+		}
+	}
+}
+
+//smat:hotpath
+func csrBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	csrBatchRangeT2(m.CSR, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func csrBatchChunkT8[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	csrBatchRangeT8(m.CSR, xb, yb, k, lo, hi)
+}
+
+// csrBatchChunkTile resolves the chunk body for a register-tile width —
+// called once at registration, never per call.
+func csrBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](csrBatchChunkT2[T])
+	case 8:
+		return rangeFn[T](csrBatchChunkT8[T])
+	default:
+		return rangeFn[T](csrBatchChunk[T])
+	}
+}
+
+// runCSRBatchParallelTile instantiates the NNZ-balanced parallel batched CSR
+// kernel at a register-tile width, resolved to a chunk funcval at bind time.
+//
+//smat:hotpath-factory
+func runCSRBatchParallelTile[T matrix.Float](tile int) batchFn[T] {
+	chunk := csrBatchChunkTile[T](tile)
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, xb, yb, k, 0, m.CSR.Rows)
 			return
 		}
 		ex.dispatch(ex.plan.NNZBounds, chunk, m, xb, yb, k)

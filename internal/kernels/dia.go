@@ -131,3 +131,109 @@ func runDIAParallelUnroll4[T matrix.Float]() runFn[T] {
 		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
+
+// diaRowRangeUnroll2 / diaRowRangeUnroll8 extend the diagonal-loop unrolling
+// to the remaining searched depths (UnrollDepths).
+//
+//smat:hotpath
+func diaRowRangeUnroll2[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
+	nd := len(d.Offsets)
+	for r := lo; r < hi; r++ {
+		var s0, s1 T
+		i := 0
+		for ; i+2 <= nd; i += 2 {
+			if c := r + d.Offsets[i]; c >= 0 && c < d.Cols {
+				s0 += d.Data[i*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+1]; c >= 0 && c < d.Cols {
+				s1 += d.Data[(i+1)*d.Rows+r] * x[c]
+			}
+		}
+		for ; i < nd; i++ {
+			if c := r + d.Offsets[i]; c >= 0 && c < d.Cols {
+				s0 += d.Data[i*d.Rows+r] * x[c]
+			}
+		}
+		y[r] = s0 + s1
+	}
+}
+
+//smat:hotpath
+func diaRowRangeUnroll8[T matrix.Float](d *matrix.DIA[T], x, y []T, lo, hi int) {
+	nd := len(d.Offsets)
+	for r := lo; r < hi; r++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 T
+		i := 0
+		for ; i+8 <= nd; i += 8 {
+			if c := r + d.Offsets[i]; c >= 0 && c < d.Cols {
+				s0 += d.Data[i*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+1]; c >= 0 && c < d.Cols {
+				s1 += d.Data[(i+1)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+2]; c >= 0 && c < d.Cols {
+				s2 += d.Data[(i+2)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+3]; c >= 0 && c < d.Cols {
+				s3 += d.Data[(i+3)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+4]; c >= 0 && c < d.Cols {
+				s4 += d.Data[(i+4)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+5]; c >= 0 && c < d.Cols {
+				s5 += d.Data[(i+5)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+6]; c >= 0 && c < d.Cols {
+				s6 += d.Data[(i+6)*d.Rows+r] * x[c]
+			}
+			if c := r + d.Offsets[i+7]; c >= 0 && c < d.Cols {
+				s7 += d.Data[(i+7)*d.Rows+r] * x[c]
+			}
+		}
+		for ; i < nd; i++ {
+			if c := r + d.Offsets[i]; c >= 0 && c < d.Cols {
+				s0 += d.Data[i*d.Rows+r] * x[c]
+			}
+		}
+		y[r] = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	}
+}
+
+//smat:hotpath
+func diaChunkUnroll2[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	diaRowRangeUnroll2(m.DIA, x, y, lo, hi)
+}
+
+//smat:hotpath
+func diaChunkUnroll8[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	diaRowRangeUnroll8(m.DIA, x, y, lo, hi)
+}
+
+// diaChunkUnroll resolves the chunk body for an unroll depth at registration.
+func diaChunkUnroll[T matrix.Float](u int) rangeFn[T] {
+	switch u {
+	case 2:
+		return rangeFn[T](diaChunkUnroll2[T])
+	case 8:
+		return rangeFn[T](diaChunkUnroll8[T])
+	case 4:
+		return rangeFn[T](diaChunkUnroll4[T])
+	default:
+		return rangeFn[T](diaChunk[T])
+	}
+}
+
+// runDIAParallelUnroll instantiates the row-major parallel DIA kernel at an
+// unroll depth, resolved to a chunk funcval at bind time.
+//
+//smat:hotpath-factory
+func runDIAParallelUnroll[T matrix.Float](u int) runFn[T] {
+	chunk := diaChunkUnroll[T](u)
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, x, y, 1, 0, m.DIA.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
+	}
+}

@@ -114,3 +114,85 @@ func runELLParallelUnroll4[T matrix.Float]() runFn[T] {
 		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
 	}
 }
+
+// ellRowRangeUnroll2 / ellRowRangeUnroll8 extend the slot-loop unrolling to
+// the remaining searched depths (UnrollDepths).
+//
+//smat:hotpath
+func ellRowRangeUnroll2[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
+	w, rows := e.Width, e.Rows
+	for r := lo; r < hi; r++ {
+		var s0, s1 T
+		n := 0
+		for ; n+2 <= w; n += 2 {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+			s1 += e.Data[(n+1)*rows+r] * x[e.ColIdx[(n+1)*rows+r]]
+		}
+		for ; n < w; n++ {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+		}
+		y[r] = s0 + s1
+	}
+}
+
+//smat:hotpath
+func ellRowRangeUnroll8[T matrix.Float](e *matrix.ELL[T], x, y []T, lo, hi int) {
+	w, rows := e.Width, e.Rows
+	for r := lo; r < hi; r++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 T
+		n := 0
+		for ; n+8 <= w; n += 8 {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+			s1 += e.Data[(n+1)*rows+r] * x[e.ColIdx[(n+1)*rows+r]]
+			s2 += e.Data[(n+2)*rows+r] * x[e.ColIdx[(n+2)*rows+r]]
+			s3 += e.Data[(n+3)*rows+r] * x[e.ColIdx[(n+3)*rows+r]]
+			s4 += e.Data[(n+4)*rows+r] * x[e.ColIdx[(n+4)*rows+r]]
+			s5 += e.Data[(n+5)*rows+r] * x[e.ColIdx[(n+5)*rows+r]]
+			s6 += e.Data[(n+6)*rows+r] * x[e.ColIdx[(n+6)*rows+r]]
+			s7 += e.Data[(n+7)*rows+r] * x[e.ColIdx[(n+7)*rows+r]]
+		}
+		for ; n < w; n++ {
+			s0 += e.Data[n*rows+r] * x[e.ColIdx[n*rows+r]]
+		}
+		y[r] = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	}
+}
+
+//smat:hotpath
+func ellChunkUnroll2[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	ellRowRangeUnroll2(m.ELL, x, y, lo, hi)
+}
+
+//smat:hotpath
+func ellChunkUnroll8[T matrix.Float](m *Mat[T], x, y []T, _, lo, hi int) {
+	ellRowRangeUnroll8(m.ELL, x, y, lo, hi)
+}
+
+// ellChunkUnroll resolves the chunk body for an unroll depth at registration.
+func ellChunkUnroll[T matrix.Float](u int) rangeFn[T] {
+	switch u {
+	case 2:
+		return rangeFn[T](ellChunkUnroll2[T])
+	case 8:
+		return rangeFn[T](ellChunkUnroll8[T])
+	case 4:
+		return rangeFn[T](ellChunkUnroll4[T])
+	default:
+		return rangeFn[T](ellChunk[T])
+	}
+}
+
+// runELLParallelUnroll instantiates the row-major parallel ELL kernel at an
+// unroll depth, resolved to a chunk funcval at bind time.
+//
+//smat:hotpath-factory
+func runELLParallelUnroll[T matrix.Float](u int) runFn[T] {
+	chunk := ellChunkUnroll[T](u)
+	return func(m *Mat[T], x, y []T, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, x, y, 1, 0, m.ELL.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, x, y, 1)
+	}
+}

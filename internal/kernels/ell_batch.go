@@ -3,11 +3,13 @@ package kernels
 import "smat/internal/matrix"
 
 // ellBatchRange computes rows [lo, hi) of Y = A·X for k interleaved
-// right-hand sides, row-major: one pass over each row's slots with a
-// register tile over the RHS dimension. Widths of two tiles or more take a
-// double-wide pass (eight accumulators), halving how often the stride-Rows
-// slot data and column indices are re-walked per row. Remainder columns use
+// right-hand sides, row-major, at ELL's default register-tile width of
+// eight: one pass over each row's slots with a register tile over the RHS
+// dimension; the eight-accumulator pass halves how often the stride-Rows
+// slot data and column indices are re-walked per row, with a four-wide
+// middle pass before the scalar remainder. Remainder columns use
 // ellRowRange's accumulation order, so k=1 is bit-for-bit ell_rowmajor.
+// ellBatchRangeT2/T4 are the narrower searched tile widths (BatchTiles).
 //
 //smat:hotpath
 func ellBatchRange[T matrix.Float](e *matrix.ELL[T], xb, yb []T, k, lo, hi int) {
@@ -15,7 +17,7 @@ func ellBatchRange[T matrix.Float](e *matrix.ELL[T], xb, yb []T, k, lo, hi int) 
 	for r := lo; r < hi; r++ {
 		yr := yb[r*k : (r+1)*k]
 		j := 0
-		for ; j+2*batchTile <= k; j += 2 * batchTile {
+		for ; j+8 <= k; j += 8 {
 			var s0, s1, s2, s3, s4, s5, s6, s7 T
 			for n := 0; n < w; n++ {
 				v := e.Data[n*rows+r]
@@ -33,7 +35,7 @@ func ellBatchRange[T matrix.Float](e *matrix.ELL[T], xb, yb []T, k, lo, hi int) 
 			yr[j], yr[j+1], yr[j+2], yr[j+3] = s0, s1, s2, s3
 			yr[j+4], yr[j+5], yr[j+6], yr[j+7] = s4, s5, s6, s7
 		}
-		for ; j+batchTile <= k; j += batchTile {
+		for ; j+4 <= k; j += 4 {
 			var s0, s1, s2, s3 T
 			for n := 0; n < w; n++ {
 				v := e.Data[n*rows+r]
@@ -72,6 +74,104 @@ func runELLBatchParallel[T matrix.Float]() batchFn[T] {
 	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
 		if ex.plan.Serial {
 			ellBatchRange(m.ELL, xb, yb, k, 0, m.ELL.Rows)
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, chunk, m, xb, yb, k)
+	}
+}
+
+// ellBatchRangeT2 is the two-accumulator tile.
+//
+//smat:hotpath
+func ellBatchRangeT2[T matrix.Float](e *matrix.ELL[T], xb, yb []T, k, lo, hi int) {
+	w, rows := e.Width, e.Rows
+	for r := lo; r < hi; r++ {
+		yr := yb[r*k : (r+1)*k]
+		j := 0
+		for ; j+2 <= k; j += 2 {
+			var s0, s1 T
+			for n := 0; n < w; n++ {
+				v := e.Data[n*rows+r]
+				c := int(e.ColIdx[n*rows+r])
+				xc := xb[c*k+j : c*k+j+2]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+			}
+			yr[j], yr[j+1] = s0, s1
+		}
+		for ; j < k; j++ {
+			var sum T
+			for n := 0; n < w; n++ {
+				sum += e.Data[n*rows+r] * xb[e.ColIdx[n*rows+r]*k+j]
+			}
+			yr[j] = sum
+		}
+	}
+}
+
+// ellBatchRangeT4 is the four-accumulator tile without the double-wide pass.
+//
+//smat:hotpath
+func ellBatchRangeT4[T matrix.Float](e *matrix.ELL[T], xb, yb []T, k, lo, hi int) {
+	w, rows := e.Width, e.Rows
+	for r := lo; r < hi; r++ {
+		yr := yb[r*k : (r+1)*k]
+		j := 0
+		for ; j+4 <= k; j += 4 {
+			var s0, s1, s2, s3 T
+			for n := 0; n < w; n++ {
+				v := e.Data[n*rows+r]
+				c := int(e.ColIdx[n*rows+r])
+				xc := xb[c*k+j : c*k+j+4]
+				s0 += v * xc[0]
+				s1 += v * xc[1]
+				s2 += v * xc[2]
+				s3 += v * xc[3]
+			}
+			yr[j], yr[j+1], yr[j+2], yr[j+3] = s0, s1, s2, s3
+		}
+		for ; j < k; j++ {
+			var sum T
+			for n := 0; n < w; n++ {
+				sum += e.Data[n*rows+r] * xb[e.ColIdx[n*rows+r]*k+j]
+			}
+			yr[j] = sum
+		}
+	}
+}
+
+//smat:hotpath
+func ellBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	ellBatchRangeT2(m.ELL, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func ellBatchChunkT4[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	ellBatchRangeT4(m.ELL, xb, yb, k, lo, hi)
+}
+
+// ellBatchChunkTile resolves the chunk body for a register-tile width at
+// registration.
+func ellBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](ellBatchChunkT2[T])
+	case 4:
+		return rangeFn[T](ellBatchChunkT4[T])
+	default:
+		return rangeFn[T](ellBatchChunk[T])
+	}
+}
+
+// runELLBatchParallelTile instantiates the parallel batched ELL kernel at a
+// register-tile width, resolved to a chunk funcval at bind time.
+//
+//smat:hotpath-factory
+func runELLBatchParallelTile[T matrix.Float](tile int) batchFn[T] {
+	chunk := ellBatchChunkTile[T](tile)
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		if ex.plan.Serial {
+			chunk(m, xb, yb, k, 0, m.ELL.Rows)
 			return
 		}
 		ex.dispatch(ex.plan.RowBounds, chunk, m, xb, yb, k)

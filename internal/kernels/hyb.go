@@ -78,9 +78,25 @@ func hybKernels[T matrix.Float]() []*Kernel[T] {
 // alongside the single-vector ones by RegisterHYB.
 func hybBatchKernels[T matrix.Float]() []*BatchKernel[T] {
 	return []*BatchKernel[T]{
-		{Name: "hyb_batch", Format: matrix.FormatHYB, Strategies: 0, run: runHYBBatch[T]},
-		{Name: "hyb_batch_parallel", Format: matrix.FormatHYB, Strategies: StratParallel, run: runHYBBatchParallel[T]()},
+		{Name: "hyb_batch", Format: matrix.FormatHYB, Strategies: 0, Params: Params{BatchTile: 8}, run: runHYBBatch[T]},
+		{Name: "hyb_batch_parallel", Format: matrix.FormatHYB, Strategies: StratParallel, Params: Params{BatchTile: 8}, run: runHYBBatchParallel[T]()},
 	}
+}
+
+// hybParamBatchKernels returns the register-tile instances of the batched
+// HYB kernel (see params.go for the stock-format analogue).
+func hybParamBatchKernels[T matrix.Float]() []*BatchKernel[T] {
+	var out []*BatchKernel[T]
+	for _, t := range BatchTiles {
+		if t == DefaultBatchTile(matrix.FormatHYB) {
+			continue
+		}
+		p := Params{BatchTile: t}
+		out = append(out, &BatchKernel[T]{Name: ParamName("hyb_batch_parallel", p),
+			Format: matrix.FormatHYB, Strategies: StratParallel,
+			Params: p, run: runHYBBatchParallelTile[T](t)})
+	}
+	return out
 }
 
 // RegisterHYB adds the hybrid-format kernels to the library.
@@ -89,6 +105,9 @@ func (l *Library[T]) RegisterHYB() {
 		l.Register(k)
 	}
 	for _, b := range hybBatchKernels[T]() {
+		l.RegisterBatch(b)
+	}
+	for _, b := range hybParamBatchKernels[T]() {
 		l.RegisterBatch(b)
 	}
 }

@@ -47,3 +47,73 @@ func runHYBBatchParallel[T matrix.Float]() batchFn[T] {
 		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, xb, yb, k)
 	}
 }
+
+// Tile-width instances of the HYB phases: the chosen register tile applies
+// to both the ELL pass and the COO overflow.
+//
+//smat:hotpath
+func hybELLBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	ellBatchRangeT2(m.HYB.ELL, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func hybELLBatchChunkT4[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	ellBatchRangeT4(m.HYB.ELL, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func hybCOOBatchChunkT2[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRangeT2(m.HYB.COO, xb, yb, k, lo, hi)
+}
+
+//smat:hotpath
+func hybCOOBatchChunkT8[T matrix.Float](m *Mat[T], xb, yb []T, k, lo, hi int) {
+	cooBatchRangeT8(m.HYB.COO, xb, yb, k, lo, hi)
+}
+
+// hybELLBatchChunkTile / hybCOOBatchChunkTile resolve the phase bodies for a
+// register-tile width at registration.
+func hybELLBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](hybELLBatchChunkT2[T])
+	case 4:
+		return rangeFn[T](hybELLBatchChunkT4[T])
+	default:
+		return rangeFn[T](hybELLBatchChunk[T])
+	}
+}
+
+func hybCOOBatchChunkTile[T matrix.Float](tile int) rangeFn[T] {
+	switch tile {
+	case 2:
+		return rangeFn[T](hybCOOBatchChunkT2[T])
+	case 8:
+		return rangeFn[T](hybCOOBatchChunkT8[T])
+	default:
+		return rangeFn[T](hybCOOBatchChunk[T])
+	}
+}
+
+// runHYBBatchParallelTile instantiates the parallel batched HYB kernel at a
+// register-tile width, both phase funcvals resolved at bind time.
+//
+//smat:hotpath-factory
+func runHYBBatchParallelTile[T matrix.Float](tile int) batchFn[T] {
+	ellChunk := hybELLBatchChunkTile[T](tile)
+	cooChunk := hybCOOBatchChunkTile[T](tile)
+	return func(m *Mat[T], xb, yb []T, k int, ex exec[T]) {
+		h := m.HYB
+		if ex.plan.Serial {
+			ellChunk(m, xb, yb, k, 0, h.ELL.Rows)
+			cooChunk(m, xb, yb, k, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.RowBounds, ellChunk, m, xb, yb, k)
+		if ex.plan.TailSerial {
+			cooChunk(m, xb, yb, k, 0, h.COO.NNZ())
+			return
+		}
+		ex.dispatch(ex.plan.EntryBounds, cooChunk, m, xb, yb, k)
+	}
+}

@@ -247,11 +247,14 @@ func Convert[T matrix.Float](m *matrix.CSR[T], f matrix.Format, maxFill float64)
 	return nil, fmt.Errorf("kernels: unknown format %v", f)
 }
 
-// Kernel is one SpMV implementation for one format.
+// Kernel is one SpMV implementation for one format. Params identifies the
+// template-parameter point the kernel was instantiated from; the zero Params
+// marks the hand-enumerated fixed menu (see params.go).
 type Kernel[T matrix.Float] struct {
 	Name       string
 	Format     matrix.Format
 	Strategies Strategy
+	Params     Params
 	run        runFn[T]
 }
 
@@ -350,7 +353,11 @@ type BatchKernel[T matrix.Float] struct {
 	Name       string
 	Format     matrix.Format
 	Strategies Strategy
-	run        batchFn[T]
+	// Params.BatchTile records the instance's register-tile width (every
+	// batch kernel has one; see DefaultBatchTile); the remaining knobs are
+	// zero for the fixed menu.
+	Params Params
+	run    batchFn[T]
 }
 
 // batchFn is a batched kernel body; like runFn, parallel bodies are built by
@@ -424,7 +431,13 @@ func NewLibrary[T matrix.Float]() *Library[T] {
 	for _, k := range allKernels[T]() {
 		l.Register(k)
 	}
+	for _, k := range paramKernels[T]() {
+		l.Register(k)
+	}
 	for _, b := range allBatchKernels[T]() {
+		l.RegisterBatch(b)
+	}
+	for _, b := range paramBatchKernels[T]() {
 		l.RegisterBatch(b)
 	}
 	return l
@@ -481,6 +494,22 @@ func (l *Library[T]) BatchFor(f matrix.Format) *BatchKernel[T] {
 	return basic
 }
 
+// BatchForParams returns the batched kernel for a format at the requested
+// register-tile width (Params.BatchTile), falling back to BatchFor's default
+// when the width is zero or no instance at that width is registered. Like
+// BatchFor it prefers the parallel variant; every one degrades to its serial
+// body below the plan cutoff.
+func (l *Library[T]) BatchForParams(f matrix.Format, p Params) *BatchKernel[T] {
+	if p.BatchTile != 0 {
+		for _, b := range l.batchByFormat[f] {
+			if b.Strategies&StratParallel != 0 && b.Params.BatchTile == p.BatchTile {
+				return b
+			}
+		}
+	}
+	return l.BatchFor(f)
+}
+
 // BatchNames returns all registered batch kernel names grouped by format
 // order.
 func (l *Library[T]) BatchNames() []string {
@@ -504,11 +533,12 @@ func (l *Library[T]) Names() []string {
 	return names
 }
 
-// Basic returns the format's reference implementation (no strategies), which
-// anchors the scoreboard search and the paper's overhead unit (CSR-SpMV).
+// Basic returns the format's reference implementation (no strategies and no
+// template parameters), which anchors the scoreboard search and the paper's
+// overhead unit (CSR-SpMV).
 func (l *Library[T]) Basic(f matrix.Format) *Kernel[T] {
 	for _, k := range l.byFormat[f] {
-		if k.Strategies == 0 {
+		if k.Strategies == 0 && k.Params.IsZero() {
 			return k
 		}
 	}

@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"fmt"
+	"time"
+
+	"smat/internal/matrix"
+)
+
+// Params describes one point in the kernel-template parameter space: instead
+// of enumerating every implementation by hand, kernels are instantiated from
+// these knobs (the AlphaSparse-lite design in DESIGN §12). A zero Params means
+// "the fixed menu's defaults" everywhere, so the struct is carried through
+// decisions, the cache, and the model without a presence flag.
+type Params struct {
+	// Unroll is the inner-loop unroll depth (independent partial
+	// accumulators) of the row/slot/diagonal product: one of UnrollDepths.
+	// Zero means the kernel's own fixed depth.
+	Unroll int `json:"unroll,omitempty"`
+	// BlockR, BlockC are the BCSR register-block shape used at conversion
+	// time; the block-specialised kernels dispatch on the stored shape. Zero
+	// means matrix.BestBlockSize picks.
+	BlockR int `json:"block_r,omitempty"`
+	BlockC int `json:"block_c,omitempty"`
+	// BatchTile is the register-tile width of the batched (multi-vector)
+	// kernels: how many right-hand sides each loaded matrix entry feeds. One
+	// of BatchTiles; zero means DefaultBatchTile(format).
+	BatchTile int `json:"batch_tile,omitempty"`
+	// HybCut is the ELL→HYB width-cut padding-allowance percentile handed to
+	// matrix.HybSplitWidth at conversion time. Zero means the default 0.3.
+	HybCut float64 `json:"hyb_cut,omitempty"`
+	// DIAMinDensity is the minimum ER_DIA (nnz over stored slots) at which
+	// the parameter search considers DIA at all — the hypersparse-diagonal
+	// pruning rule. Zero means DefaultDIAMinDensity.
+	DIAMinDensity float64 `json:"dia_min_density,omitempty"`
+}
+
+// IsZero reports whether every knob is at its default.
+func (p Params) IsZero() bool { return p == Params{} }
+
+// Suffix renders the instance-distinguishing name suffix, e.g. "_2x4" for a
+// block shape, "_u8" for an unroll depth, "_t2" for a batch tile — empty for
+// the zero Params. Conversion-only knobs (HybCut, DIAMinDensity) never name
+// kernel instances and contribute nothing.
+func (p Params) Suffix() string {
+	s := ""
+	if p.BlockR > 0 && p.BlockC > 0 {
+		s += fmt.Sprintf("_%dx%d", p.BlockR, p.BlockC)
+	}
+	if p.Unroll > 0 {
+		s += fmt.Sprintf("_u%d", p.Unroll)
+	}
+	if p.BatchTile > 0 {
+		s += fmt.Sprintf("_t%d", p.BatchTile)
+	}
+	return s
+}
+
+// String renders the non-default knobs for logs and bench artifacts.
+func (p Params) String() string {
+	if p.IsZero() {
+		return "default"
+	}
+	s := p.Suffix()
+	if p.HybCut > 0 {
+		s += fmt.Sprintf("_h%g", p.HybCut)
+	}
+	if p.DIAMinDensity > 0 {
+		s += fmt.Sprintf("_d%g", p.DIAMinDensity)
+	}
+	if len(s) > 0 && s[0] == '_' {
+		s = s[1:]
+	}
+	return s
+}
+
+// ParamName templates a registered instance name from a base kernel family
+// name and the instance's Params, e.g. ParamName("bcsr", Params{BlockR: 2,
+// BlockC: 4}) == "bcsr_2x4". The kernelreg analyzer recognises this call
+// shape in registry providers (the base must stay a string literal there).
+func ParamName(base string, p Params) string { return base + p.Suffix() }
+
+// The searched parameter space. The scoreboard walk measures these points per
+// training matrix, pruned by the feature-guided rules in
+// internal/autotune/scoreboard.go.
+var (
+	// UnrollDepths is the searched inner-loop unroll space. Depths 1 and 4
+	// are covered by the fixed menu (basic and *_unroll4 kernels); 2 and 8
+	// are registered as parameter instances.
+	UnrollDepths = []int{1, 2, 4, 8}
+	// BCSRShapes is the searched register-block shape space (r×c).
+	BCSRShapes = [][2]int{{2, 2}, {2, 4}, {4, 2}, {4, 4}, {8, 2}}
+	// BatchTiles is the searched batched register-tile width space.
+	BatchTiles = []int{2, 4, 8}
+	// HybCuts is the searched ELL→HYB width-cut padding-allowance space.
+	HybCuts = []float64{0.1, 0.3, 0.5}
+)
+
+// DefaultDIAMinDensity is the hypersparse-diagonal pruning floor: when the
+// occupied fraction of DIA's stored slots (ER_DIA) falls below it, the
+// parameter search skips DIA candidates without measuring them.
+const DefaultDIAMinDensity = 0.05
+
+// DefaultBatchTile returns the register-tile width the format's unsuffixed
+// batch kernels use: DIA/ELL/HYB amortise their strided per-row walks with a
+// double-wide eight-accumulator tile, the indexed formats keep four.
+func DefaultBatchTile(f matrix.Format) int {
+	switch f {
+	case matrix.FormatDIA, matrix.FormatELL, matrix.FormatHYB:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// ConvertWithParams is Convert with the conversion-time knobs applied: the
+// BCSR block shape and the HYB width-cut percentile. Zero-valued knobs fall
+// back to Convert's defaults (auto block shape, 0.3 cut).
+func ConvertWithParams[T matrix.Float](m *matrix.CSR[T], f matrix.Format, maxFill float64, p Params) (*Mat[T], error) {
+	switch f {
+	case matrix.FormatBCSR:
+		if p.BlockR > 0 && p.BlockC > 0 {
+			b, err := m.ToBCSR(p.BlockR, p.BlockC, maxFill)
+			if err != nil {
+				return nil, err
+			}
+			return &Mat[T]{Format: f, BCSR: b}, nil
+		}
+	case matrix.FormatHYB:
+		if p.HybCut > 0 {
+			return &Mat[T]{Format: f, HYB: m.ToHYB(matrix.HybSplitWidth(m, p.HybCut))}, nil
+		}
+	}
+	return Convert(m, f, maxFill)
+}
+
+// ConvertTimedParams is ConvertWithParams with the stopwatch attached (see
+// ConvertTimed). Decisions that carry tuned Params must materialise through
+// it so cache hits rebuild the exact representation the leader measured.
+func ConvertTimedParams[T matrix.Float](m *matrix.CSR[T], f matrix.Format, maxFill float64, p Params) (*Mat[T], ConvertTiming, error) {
+	if f == matrix.FormatCSR {
+		return &Mat[T]{Format: f, CSR: m}, ConvertTiming{Format: f, Stored: m.Stored()}, nil
+	}
+	start := time.Now()
+	out, err := ConvertWithParams(m, f, maxFill, p)
+	sec := time.Since(start).Seconds()
+	if err != nil {
+		return nil, ConvertTiming{Format: f, Sec: sec}, err
+	}
+	return out, ConvertTiming{Format: f, Sec: sec, Stored: out.Stored()}, nil
+}
+
+// paramKernels returns the stock single-vector parameter instances: the
+// unroll depths the fixed menu does not cover, instantiated through the same
+// factory-funcval machinery as the hand-enumerated kernels (chunk funcvals
+// bound once at registration, so the pooled hot path stays allocation-free).
+func paramKernels[T matrix.Float]() []*Kernel[T] {
+	var out []*Kernel[T]
+	for _, u := range UnrollDepths {
+		if u == 1 || u == 4 {
+			continue // the fixed menu's basic and *_unroll4 kernels
+		}
+		p := Params{Unroll: u}
+		out = append(out,
+			&Kernel[T]{Name: ParamName("csr_parallel_nnz", p), Format: matrix.FormatCSR,
+				Strategies: StratParallel | StratNNZBalance | StratUnroll4, Params: p,
+				run: runCSRParallelNNZUnroll[T](u)},
+			&Kernel[T]{Name: ParamName("dia_parallel", p), Format: matrix.FormatDIA,
+				Strategies: StratParallel | StratRowMajor | StratUnroll4, Params: p,
+				run: runDIAParallelUnroll[T](u)},
+			&Kernel[T]{Name: ParamName("ell_parallel", p), Format: matrix.FormatELL,
+				Strategies: StratParallel | StratRowMajor | StratUnroll4, Params: p,
+				run: runELLParallelUnroll[T](u)},
+		)
+	}
+	return out
+}
+
+// paramBatchKernels returns the stock batched parameter instances: for every
+// format, the register-tile widths its unsuffixed kernels do not already use,
+// so all of BatchTiles is reachable through BatchForParams.
+func paramBatchKernels[T matrix.Float]() []*BatchKernel[T] {
+	var out []*BatchKernel[T]
+	for _, t := range BatchTiles {
+		p := Params{BatchTile: t}
+		if t != DefaultBatchTile(matrix.FormatCSR) {
+			out = append(out, &BatchKernel[T]{Name: ParamName("csr_batch_parallel", p),
+				Format: matrix.FormatCSR, Strategies: StratParallel | StratNNZBalance,
+				Params: p, run: runCSRBatchParallelTile[T](t)})
+		}
+		if t != DefaultBatchTile(matrix.FormatCOO) {
+			out = append(out, &BatchKernel[T]{Name: ParamName("coo_batch_parallel", p),
+				Format: matrix.FormatCOO, Strategies: StratParallel | StratNNZBalance,
+				Params: p, run: runCOOBatchParallelTile[T](t)})
+		}
+		if t != DefaultBatchTile(matrix.FormatDIA) {
+			out = append(out, &BatchKernel[T]{Name: ParamName("dia_batch_parallel", p),
+				Format: matrix.FormatDIA, Strategies: StratParallel,
+				Params: p, run: runDIABatchParallelTile[T](t)})
+		}
+		if t != DefaultBatchTile(matrix.FormatELL) {
+			out = append(out, &BatchKernel[T]{Name: ParamName("ell_batch_parallel", p),
+				Format: matrix.FormatELL, Strategies: StratParallel,
+				Params: p, run: runELLBatchParallelTile[T](t)})
+		}
+	}
+	return out
+}

@@ -47,14 +47,20 @@ type Coverage struct {
 	// Parallel holds every kernel name that executed a genuinely
 	// partitioned (non-serial) plan.
 	Parallel map[string]bool
+	// Conversions holds every parameterized conversion variant (keyed
+	// "format/params") that converted and passed the full differential
+	// check, so the suite can assert the whole conversion-level parameter
+	// space — every BCSR block shape, every HYB width cut — was reached.
+	Conversions map[string]bool
 }
 
 // NewCoverage returns an empty coverage accumulator.
 func NewCoverage() *Coverage {
 	return &Coverage{
-		Formats:  make(map[matrix.Format]bool),
-		Kernels:  make(map[string]bool),
-		Parallel: make(map[string]bool),
+		Formats:     make(map[matrix.Format]bool),
+		Kernels:     make(map[string]bool),
+		Parallel:    make(map[string]bool),
+		Conversions: make(map[string]bool),
 	}
 }
 
@@ -69,6 +75,38 @@ func (c *Coverage) Merge(other *Coverage) {
 	for k := range other.Parallel {
 		c.Parallel[k] = true
 	}
+	for k := range other.Conversions {
+		c.Conversions[k] = true
+	}
+}
+
+// ConversionKey names one parameterized conversion variant in
+// Coverage.Conversions.
+func ConversionKey(f matrix.Format, p kernels.Params) string {
+	return f.String() + "/" + p.String()
+}
+
+// paramVariants lists the conversion-level parameter instantiations a format
+// supports beyond its default conversion: every searched BCSR block shape and
+// every ELL→HYB width cut. The differential suite walks each variant with the
+// format's full kernel registry, so a shape-specialised interior that
+// mis-indexes its padding shows up as a reference mismatch.
+func paramVariants(f matrix.Format) []kernels.Params {
+	switch f {
+	case matrix.FormatBCSR:
+		out := make([]kernels.Params, 0, len(kernels.BCSRShapes))
+		for _, sh := range kernels.BCSRShapes {
+			out = append(out, kernels.Params{BlockR: sh[0], BlockC: sh[1]})
+		}
+		return out
+	case matrix.FormatHYB:
+		out := make([]kernels.Params, 0, len(kernels.HybCuts))
+		for _, cut := range kernels.HybCuts {
+			out = append(out, kernels.Params{HybCut: cut})
+		}
+		return out
+	}
+	return nil
 }
 
 // xVector builds the deterministic input vector: values on the exact k/8
@@ -166,38 +204,58 @@ func Check[T matrix.Float](lib *kernels.Library[T], s *Spec, opt Options) (*Cove
 	}()
 
 	for _, f := range checkFormats {
-		mat, err := kernels.Convert(ref, f, opt.MaxFill)
-		if errors.Is(err, matrix.ErrFillExplosion) {
-			continue
-		}
-		if err != nil {
-			return cov, fmt.Errorf("oracle: %s/%s: convert: %w", s.Name, f, err)
-		}
-		cov.Formats[f] = true
-
-		// Property 2: the converted representation satisfies its own
-		// invariants and converts back to exactly the source matrix.
-		if err := mat.Validate(); err != nil {
-			return cov, fmt.Errorf("oracle: %s/%s: converted representation invalid: %w", s.Name, f, err)
-		}
-		if back := mat.ToCSR(); !ref.Equal(back) {
-			return cov, fmt.Errorf("oracle: %s/%s: round trip changed the matrix", s.Name, f)
-		}
-
-		// Every plan partition must tile its work range exactly.
-		for _, th := range opt.Threads {
-			if err := checkPlan(mat.PlanFor(th), mat, th); err != nil {
-				return cov, fmt.Errorf("oracle: %s/%s: %w", s.Name, f, err)
+		// The default conversion first, then every conversion-level parameter
+		// variant (BCSR block shapes, HYB width cuts): each instantiation
+		// must satisfy the same invariants, round trip, plan partitioning and
+		// differential properties as the default.
+		for _, p := range append([]kernels.Params{{}}, paramVariants(f)...) {
+			mat, err := kernels.ConvertWithParams(ref, f, opt.MaxFill, p)
+			if errors.Is(err, matrix.ErrFillExplosion) {
+				continue
 			}
-		}
-
-		for _, k := range lib.ForFormat(f) {
-			if err := checkKernel(k, mat, ref, x, want, absSum, eps, opt, pools, cov, s.Name); err != nil {
+			if err != nil {
+				return cov, fmt.Errorf("oracle: %s/%s%s: convert: %w", s.Name, f, p.Suffix(), err)
+			}
+			if err := checkConverted(lib, mat, ref, x, want, absSum, eps, opt, pools, cov, s.Name, f); err != nil {
 				return cov, err
+			}
+			cov.Formats[f] = true
+			if !p.IsZero() {
+				cov.Conversions[ConversionKey(f, p)] = true
 			}
 		}
 	}
 	return cov, nil
+}
+
+// checkConverted runs one converted representation through the invariant,
+// round-trip, plan and kernel checks.
+func checkConverted[T matrix.Float](lib *kernels.Library[T], mat *kernels.Mat[T], ref *matrix.CSR[T],
+	x []T, want, absSum []float64, eps float64, opt Options,
+	pools map[int]*kernels.Pool[T], cov *Coverage, spec string, f matrix.Format) error {
+
+	// Property 2: the converted representation satisfies its own
+	// invariants and converts back to exactly the source matrix.
+	if err := mat.Validate(); err != nil {
+		return fmt.Errorf("oracle: %s/%s: converted representation invalid: %w", spec, f, err)
+	}
+	if back := mat.ToCSR(); !ref.Equal(back) {
+		return fmt.Errorf("oracle: %s/%s: round trip changed the matrix", spec, f)
+	}
+
+	// Every plan partition must tile its work range exactly.
+	for _, th := range opt.Threads {
+		if err := checkPlan(mat.PlanFor(th), mat, th); err != nil {
+			return fmt.Errorf("oracle: %s/%s: %w", spec, f, err)
+		}
+	}
+
+	for _, k := range lib.ForFormat(f) {
+		if err := checkKernel(k, mat, ref, x, want, absSum, eps, opt, pools, cov, spec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkKernel runs one kernel through the serial reference comparison and

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 
 	"smat/internal/autotune"
+	"smat/internal/kernels"
 	"smat/internal/matrix"
 	"smat/internal/mmio"
 )
@@ -54,6 +55,12 @@ type Float = matrix.Float
 
 // Format identifies a sparse storage format.
 type Format = matrix.Format
+
+// Params is one point in the tunable kernel-template parameter space (unroll
+// depth, BCSR block shape, HYB width cut, DIA density floor, batch register
+// tile). The zero value means the fixed menu's defaults everywhere; trained
+// v2 models carry per-format points chosen by the off-line parameter search.
+type Params = kernels.Params
 
 // The four basic storage formats of the paper's Section 2.1.
 const (
@@ -557,6 +564,7 @@ func (o *Operator[T]) Decision() Decision {
 		CacheHit:       o.dec.CacheHit,
 		Chosen:         o.dec.Chosen,
 		Kernel:         o.dec.Kernel,
+		Params:         o.dec.Params,
 		IterationHint:  o.dec.IterationHint,
 		Asymptotic:     o.dec.Asymptotic,
 		BreakEvenIters: o.dec.BreakEvenIters,
@@ -608,6 +616,11 @@ type Decision struct {
 	// the name of the implementation bound to it.
 	Chosen Format
 	Kernel string
+	// Params records the tunable parameters behind the operator: the
+	// conversion-level knobs its matrix was materialised with, the chosen
+	// kernel instance's unroll depth, and the bound batch register tile.
+	// The zero value means the fixed menu (a v1 model, or defaults won).
+	Params Params
 	// IterationHint echoes the effective WithIterations /
 	// WithDefaultIterations value the decision was made under; 0 means the
 	// decision is asymptotic and the amortisation fields below are purely
