@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"time"
@@ -157,7 +158,7 @@ func main() {
 			log.Fatalf("%s: %v", e.name, err)
 		}
 		if path := artifactPath(e); path != "" {
-			if err := writeArtifact(path, res); err != nil {
+			if err := writeArtifact(path, e.name, res); err != nil {
 				log.Fatalf("%s: writing %s: %v", e.name, path, err)
 			}
 			fmt.Printf("wrote %s\n", path)
@@ -185,11 +186,35 @@ func main() {
 	}
 }
 
-// writeArtifact writes v as an indented JSON artifact.
-func writeArtifact(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
+// artifactEnvelope is the committed-artifact schema smat-lint's benchjson
+// analyzer validates: the experiment name (matching the file name), the git
+// provenance of the run, and the experiment's own payload.
+type artifactEnvelope struct {
+	Experiment string `json:"experiment"`
+	Git        string `json:"git"`
+	Data       any    `json:"data"`
+}
+
+// writeArtifact writes v as an indented JSON artifact wrapped in the
+// provenance envelope.
+func writeArtifact(path, name string, v any) error {
+	data, err := json.MarshalIndent(artifactEnvelope{
+		Experiment: name,
+		Git:        gitDescribe(),
+		Data:       v,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitDescribe stamps the artifact with the commit it was measured at, or
+// "unknown" outside a git checkout.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil || len(out) == 0 {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }

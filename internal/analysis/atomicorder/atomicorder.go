@@ -1,0 +1,386 @@
+// Package atomicorder implements the smat-lint analyzer verifying the
+// repository's atomic publish protocols — the ordering discipline that makes
+// the lock-free hot paths correct, which neither the race detector (it needs
+// a racing execution) nor vet can check structurally.
+//
+// The engine-swap design (autotune.Operator), the tuned-handle slot
+// (smat.Matrix) and the worker pool barrier (kernels.Pool) all follow one
+// pattern: build a value completely, publish it with a single atomic store,
+// and have every consumer take one atomic load and treat the snapshot as
+// immutable. The analyzer checks that pattern on the framework's SSA-lite
+// layer (CFG + dominance + reaching definitions):
+//
+//   - a pointer passed to an atomic Store must not be mutated afterwards:
+//     a write that the store dominates is visible to concurrent readers
+//     mid-update (torn publish);
+//   - the stored pointer's reaching definitions must all be real
+//     initializations — when a zero-value `var p *T` definition reaches the
+//     Store, the publish is not dominated by initialization;
+//   - a snapshot obtained from an atomic Load is read-only; writing through
+//     it mutates shared state outside the protocol. Pre-publication setup
+//     (filling in an engine the caller just created) is the one legitimate
+//     exception and must carry the //smat:atomic-init directive;
+//   - one function takes one Load per slot: a second load of the same slot
+//     may observe a swapped value, tearing a computation across two engines;
+//   - an atomic field is only touched through its atomic methods — any plain
+//     access (copy, address escape) splits the synchronisation domain;
+//   - in a //smat:wake-barrier function every channel send must be preceded
+//     (dominated) by an atomic countdown Store/Add: waking a worker before
+//     arming the barrier lets the completion signal fire early;
+//   - a //smat:atomic-publish function must actually publish: at least one
+//     atomic Store (or Swap/CompareAndSwap) in its body.
+//
+// _test.go files are exempt: tests legitimately poke protocol internals.
+package atomicorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smat/internal/analysis/framework"
+)
+
+// Analyzer is the atomicorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicorder",
+	Doc:  "verify atomic publish protocols: init-dominated stores, immutable load snapshots, one load per slot, barrier ordering",
+	Run:  run,
+}
+
+// atomicMethods are the methods of the sync/atomic wrapper types. Presence
+// here makes a call "atomic access"; everything else touching an atomic
+// field is plain access.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "Add": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// publishMethods are the subset that make a value visible to other
+// goroutines.
+var publishMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			dirs := framework.FuncDirectives(fd)
+			checkFunc(pass, fd.Body, framework.SigVars(pass.Info, fd.Recv, fd.Type), dirs, fd)
+			// Closures get their own CFG; they inherit the enclosing
+			// declaration's directives (an atomic-init constructor's helper
+			// closure is still pre-publication code).
+			for _, fl := range framework.FuncLitsIn(fd.Body) {
+				checkFunc(pass, fl.Body, framework.SigVars(pass.Info, nil, fl.Type), dirs, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// atomCall is one call of an atomic method inside the function under check.
+type atomCall struct {
+	call   *ast.CallExpr
+	sel    *ast.SelectorExpr // receiver.Method
+	method string
+	slot   string // render of the receiver expression, e.g. "o.eng"
+	pos    framework.Pos
+}
+
+// fieldWrite is one mutation through a local variable: an assignment or
+// inc/dec whose left side dereferences, indexes or selects through base.
+type fieldWrite struct {
+	node ast.Node
+	expr ast.Expr
+	base *types.Var
+	pos  framework.Pos
+}
+
+// checkFunc applies every rule to one function body. fd is nil for function
+// literals (the declaration-level rules skip them).
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt, params []*types.Var, dirs map[string]bool, fd *ast.FuncDecl) {
+	cfg := framework.BuildCFG(body)
+	rd := framework.BuildReachingDefs(cfg, pass.Info, params)
+
+	var calls []atomCall
+	var sends []struct {
+		stmt *ast.SendStmt
+		pos  framework.Pos
+	}
+	var writes []fieldWrite
+	okRecv := map[ast.Expr]bool{}
+
+	for bi, bl := range cfg.Blocks {
+		for ni, n := range bl.Nodes {
+			pos := framework.Pos{Block: bi, Index: ni}
+			inspectNode(n, func(m ast.Node) {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if ac, ok := asAtomicCall(pass.Info, m); ok {
+						ac.pos = pos
+						calls = append(calls, ac)
+						okRecv[ast.Unparen(ac.sel.X)] = true
+					}
+				case *ast.SendStmt:
+					sends = append(sends, struct {
+						stmt *ast.SendStmt
+						pos  framework.Pos
+					}{m, pos})
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if w, ok := asFieldWrite(pass.Info, m, lhs); ok {
+							w.pos = pos
+							writes = append(writes, w)
+						}
+					}
+				case *ast.IncDecStmt:
+					if w, ok := asFieldWrite(pass.Info, m, m.X); ok {
+						w.pos = pos
+						writes = append(writes, w)
+					}
+				}
+			})
+		}
+	}
+
+	// Rule: a published pointer is not mutated after its Store, and every
+	// definition reaching the Store is a real initialization.
+	for _, ac := range calls {
+		if !publishMethods[ac.method] || len(ac.call.Args) == 0 {
+			continue
+		}
+		arg := ast.Unparen(ac.call.Args[len(ac.call.Args)-1]) // CompareAndSwap publishes its last arg
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue // composite literals and call results have no later alias
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !isPointer(v.Type()) {
+			continue
+		}
+		for _, w := range writes {
+			if w.base == v && ac.pos.Before(w.pos, cfg) {
+				pass.Reportf(w.node.Pos(),
+					"%s is mutated after being atomically published via %s.%s; a concurrent reader can observe the torn update — initialize fully before the store",
+					v.Name(), ac.slot, ac.method)
+			}
+		}
+		for _, d := range rd.At(v, ac.pos) {
+			if d.Zero || isNilExpr(pass.Info, d.RHS) {
+				pass.Reportf(ac.call.Pos(),
+					"atomic publish of %s via %s.%s may store its zero value: a nil/zero definition reaches the store — dominate the publish with full initialization",
+					v.Name(), ac.slot, ac.method)
+			}
+		}
+	}
+
+	// Rule: snapshots from an atomic Load are immutable unless the function
+	// is marked as pre-publication initialization.
+	if !dirs["smat:atomic-init"] {
+		for _, w := range writes {
+			for _, d := range rd.At(w.base, w.pos) {
+				if lc, ok := loadCallOf(pass.Info, d.RHS); ok {
+					pass.Reportf(w.node.Pos(),
+						"write through atomic Load snapshot %s (loaded from %s); consumers must treat loaded state as immutable — annotate the function //smat:atomic-init if this is pre-publication setup",
+						w.base.Name(), lc)
+					break
+				}
+			}
+		}
+	}
+
+	// Rule: one Load per slot per function.
+	loadsBySlot := map[string]int{}
+	for _, ac := range calls {
+		if ac.method != "Load" {
+			continue
+		}
+		loadsBySlot[ac.slot]++
+		if loadsBySlot[ac.slot] > 1 {
+			pass.Reportf(ac.call.Pos(),
+				"atomic slot %s is loaded more than once in one function; a second load may observe a concurrent swap — reuse the first snapshot",
+				ac.slot)
+		}
+	}
+
+	// Rule: atomic fields are only touched through their atomic methods.
+	for bi := range cfg.Blocks {
+		for _, n := range cfg.Blocks[bi].Nodes {
+			inspectNode(n, func(m ast.Node) {
+				sel, ok := m.(*ast.SelectorExpr)
+				if !ok || okRecv[sel] {
+					return
+				}
+				tv, ok := pass.Info.Types[sel]
+				if !ok || !tv.IsValue() || !isAtomicType(tv.Type) {
+					return
+				}
+				pass.Reportf(sel.Pos(),
+					"plain access to atomic field %s; all access must go through its atomic methods (copying or address-escaping the cell splits the synchronisation domain)",
+					types.ExprString(sel))
+			})
+		}
+	}
+
+	// Rule: in a wake-barrier function every send is dominated by an atomic
+	// countdown Store/Add.
+	if dirs["smat:wake-barrier"] {
+		for _, s := range sends {
+			armed := false
+			for _, ac := range calls {
+				if (ac.method == "Store" || ac.method == "Add") && ac.pos.Before(s.pos, cfg) {
+					armed = true
+					break
+				}
+			}
+			if !armed {
+				pass.Reportf(s.stmt.Pos(),
+					"channel send in a //smat:wake-barrier function is not preceded by an atomic countdown Store/Add; waking a worker before arming the barrier lets the completion signal fire early")
+			}
+		}
+	}
+
+	// Rule: an atomic-publish function actually publishes.
+	if fd != nil && dirs["smat:atomic-publish"] {
+		published := false
+		for _, ac := range calls {
+			if publishMethods[ac.method] {
+				published = true
+				break
+			}
+		}
+		if !published {
+			pass.Reportf(fd.Name.Pos(),
+				"function is annotated //smat:atomic-publish but performs no atomic Store/Swap/CompareAndSwap")
+		}
+	}
+}
+
+// inspectNode walks one CFG node's subtree without crossing into territory
+// that belongs to other blocks: function literals have their own CFGs, and a
+// RangeStmt node stands only for its clause (key/value/operand) — its body
+// statements live in the loop's body block.
+func inspectNode(n ast.Node, fn func(ast.Node)) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				inspectNode(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(m)
+		return true
+	})
+}
+
+// asAtomicCall matches expr.Method(...) where expr's type is a sync/atomic
+// wrapper struct.
+func asAtomicCall(info *types.Info, call *ast.CallExpr) (atomCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicMethods[sel.Sel.Name] {
+		return atomCall{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isAtomicType(tv.Type) {
+		return atomCall{}, false
+	}
+	return atomCall{
+		call:   call,
+		sel:    sel,
+		method: sel.Sel.Name,
+		slot:   types.ExprString(sel.X),
+	}, true
+}
+
+// asFieldWrite matches a mutation whose target routes through a local
+// variable: v.f = x, *v = x, v[i] = x, v.f.g++, ... A bare `v = x` is a
+// (re)definition, not a write through v, and field writes through package-
+// level state are outside the local protocol.
+func asFieldWrite(info *types.Info, node ast.Node, lhs ast.Expr) (fieldWrite, bool) {
+	e := ast.Unparen(lhs)
+	if _, bare := e.(*ast.Ident); bare {
+		return fieldWrite{}, false
+	}
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			e = ast.Unparen(t.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(t.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(t.X)
+		case *ast.Ident:
+			v, ok := info.Uses[t].(*types.Var)
+			if !ok {
+				return fieldWrite{}, false
+			}
+			return fieldWrite{node: node, expr: lhs, base: v}, true
+		default:
+			return fieldWrite{}, false
+		}
+	}
+}
+
+// loadCallOf reports whether rhs is an atomic Load call, returning the slot
+// it loads from.
+func loadCallOf(info *types.Info, rhs ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	ac, ok := asAtomicCall(info, call)
+	if !ok || ac.method != "Load" {
+		return "", false
+	}
+	return ac.slot, true
+}
+
+// isAtomicType reports whether t (or its pointee) is one of the sync/atomic
+// wrapper structs (atomic.Pointer[T], atomic.Int32, ...). Interfaces from
+// that package carry no cell and do not count.
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != "sync/atomic" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,127 @@
+// Package ao is the atomicorder fixture: a miniature engine-swap + worker
+// barrier protocol with one seeded violation of every rule the analyzer
+// reports, next to healthy twins that must stay quiet.
+package ao
+
+import "sync/atomic"
+
+type payload struct {
+	data  []float64
+	ready bool
+}
+
+type slotBox struct {
+	slot  atomic.Pointer[payload]
+	state atomic.Int32
+	n     int
+}
+
+// goodPublish builds the payload completely and then publishes it; quiet.
+//
+//smat:atomic-publish
+func (b *slotBox) goodPublish(n int) {
+	p := &payload{data: make([]float64, n), ready: true}
+	b.slot.Store(p)
+}
+
+// mutateAfterPublish finishes initializing the payload after the store made
+// it visible: a concurrent reader can observe ready still false.
+func (b *slotBox) mutateAfterPublish(n int) {
+	p := &payload{data: make([]float64, n)}
+	b.slot.Store(p)
+	p.ready = true // want `mutated after being atomically published`
+}
+
+// publishMaybeZero publishes a pointer whose zero-value definition still
+// reaches the store on the n <= 0 path.
+func (b *slotBox) publishMaybeZero(n int) {
+	var p *payload
+	if n > 0 {
+		p = &payload{data: make([]float64, n), ready: true}
+	}
+	b.slot.Store(p) // want `may store its zero value`
+}
+
+// writeThroughSnapshot mutates the shared payload through a Load snapshot.
+func (b *slotBox) writeThroughSnapshot() {
+	p := b.slot.Load()
+	p.ready = false // want `write through atomic Load snapshot`
+}
+
+// initThroughSnapshot performs the same write, but the operator it fills in
+// is not yet shared — the directive marks it pre-publication setup; quiet.
+//
+//smat:atomic-init
+func (b *slotBox) initThroughSnapshot() {
+	p := b.slot.Load()
+	p.ready = true
+}
+
+// doubleLoad takes two snapshots of one slot; a swap between them tears the
+// sum across two payloads.
+func (b *slotBox) doubleLoad() int {
+	a := b.slot.Load()
+	c := b.slot.Load() // want `loaded more than once`
+	return len(a.data) + len(c.data)
+}
+
+// singleLoad is the healthy consumer shape: one load, reads only; quiet.
+func (b *slotBox) singleLoad() int {
+	p := b.slot.Load()
+	if p == nil {
+		return 0
+	}
+	return len(p.data)
+}
+
+// plainAccess lets the atomic cell's address escape, so callers can bypass
+// the protocol entirely.
+func (b *slotBox) plainAccess() *atomic.Int32 {
+	return &b.state // want `plain access to atomic field`
+}
+
+type barrier struct {
+	pending atomic.Int32
+	wake    []chan struct{}
+	done    chan struct{}
+}
+
+// goodBarrier arms the countdown before waking any worker; quiet.
+//
+//smat:wake-barrier
+func (b *barrier) goodBarrier(n int) {
+	b.pending.Store(int32(n))
+	for i := 0; i < n; i++ {
+		b.wake[i] <- struct{}{}
+	}
+	<-b.done
+}
+
+// badBarrier wakes the workers first: a fast worker decrements a stale
+// countdown and releases the dispatcher early.
+//
+//smat:wake-barrier
+func (b *barrier) badBarrier(n int) {
+	for i := 0; i < n; i++ {
+		b.wake[i] <- struct{}{} // want `not preceded by an atomic countdown`
+	}
+	b.pending.Store(int32(n))
+	<-b.done
+}
+
+// countdown is the healthy worker-side barrier: the decrement dominates the
+// completion send; quiet.
+//
+//smat:wake-barrier
+func (b *barrier) countdown() {
+	if b.pending.Add(-1) == 0 {
+		b.done <- struct{}{}
+	}
+}
+
+// silentPublish claims to publish but never stores.
+//
+//smat:atomic-publish
+func (b *slotBox) silentPublish() int { // want `performs no atomic Store`
+	return b.n
+}

@@ -1,0 +1,127 @@
+package bce
+
+import (
+	"strings"
+	"testing"
+
+	"smat/internal/analysis/compilediag"
+)
+
+// fixtureCfg points the gate at the standalone mini-module under testdata.
+func fixtureCfg() Config {
+	return Config{
+		ModuleDir:    "testdata/module",
+		GcflagsScope: "bcefix/...",
+		HotDirs:      []string{"."},
+		BaselinePath: "baseline.txt",
+	}
+}
+
+// TestFixtureSeededViolations compiles the fixture module for real and
+// asserts every seeded bounds-check survives into the entry set — and that
+// clean/cold functions stay out of it.
+func TestFixtureSeededViolations(t *testing.T) {
+	entries, err := Current(fixtureCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFunc := map[string]bool{}
+	for _, e := range entries {
+		// entry: "hot.go:<func>: Found <kind> xN"
+		parts := strings.SplitN(e, ":", 3)
+		if len(parts) == 3 {
+			byFunc[parts[1]] = true
+		}
+	}
+	for _, want := range []string{
+		"gather",             // data-dependent gather
+		"offsetIndex",        // offset vs unrelated bound
+		"crossSlice",         // cross-slice index
+		"subSlice",           // IsSliceInBounds
+		"makeRowKernel.func", // factory closure attribution
+		"rowPtrWalk",         // rowPtr pair fetch + loaded bound
+	} {
+		if !byFunc[want] {
+			t.Errorf("seeded violation in %s not reported; entries:\n  %s", want, strings.Join(entries, "\n  "))
+		}
+	}
+	for _, bad := range []string{"clean", "coldGather"} {
+		if byFunc[bad] {
+			t.Errorf("%s must not appear in the entry set; entries:\n  %s", bad, strings.Join(entries, "\n  "))
+		}
+	}
+	// The slice reslice must be reported as IsSliceInBounds specifically.
+	var sawSliceKind bool
+	for _, e := range entries {
+		if strings.Contains(e, "subSlice: Found IsSliceInBounds") {
+			sawSliceKind = true
+		}
+	}
+	if !sawSliceKind {
+		t.Errorf("subSlice should report Found IsSliceInBounds; entries:\n  %s", strings.Join(entries, "\n  "))
+	}
+}
+
+// TestCheckDetectsRegression diffs the live fixture entries against a
+// baseline that omits them: every seeded entry must surface as fresh, and a
+// fabricated baseline entry must surface as stale.
+func TestCheckDetectsRegression(t *testing.T) {
+	cfg := fixtureCfg()
+	current, err := Current(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(current) < 5 {
+		t.Fatalf("fixture seeds %d entries, want >= 5:\n  %s", len(current), strings.Join(current, "\n  "))
+	}
+	baseline := append([]string{"hot.go:ghost: Found IsInBounds x1"}, current[:2]...)
+	fresh, stale := compilediag.Diff(current, baseline)
+	if len(fresh) != len(current)-2 {
+		t.Errorf("fresh = %d entries, want %d", len(fresh), len(current)-2)
+	}
+	if len(stale) != 1 || stale[0] != "hot.go:ghost: Found IsInBounds x1" {
+		t.Errorf("stale = %q, want the ghost entry", stale)
+	}
+}
+
+func TestMatchEntriesCountsDistinctPositions(t *testing.T) {
+	hot := []compilediag.FuncSpan{
+		{File: "k.go", Start: 10, End: 20, Name: "kern", Directives: map[string]bool{"smat:hotpath": true}},
+	}
+	out := strings.Join([]string{
+		"# pkg",
+		"k.go:12:7: Found IsInBounds",
+		"k.go:12:7: Found IsInBounds", // generic re-instantiation: same position
+		"k.go:13:9: Found IsInBounds",
+		"k.go:15:3: Found IsSliceInBounds",
+		"k.go:25:3: Found IsInBounds",     // outside the span
+		"k.go:14:1: escapes to heap",      // not a bounds check
+		"other.go:12:7: Found IsInBounds", // other file
+	}, "\n")
+	entries := matchEntries(hot, out)
+	want := []string{
+		"k.go:kern: Found IsInBounds x2",
+		"k.go:kern: Found IsSliceInBounds x1",
+	}
+	if len(entries) != len(want) || entries[0] != want[0] || entries[1] != want[1] {
+		t.Errorf("entries = %q, want %q", entries, want)
+	}
+}
+
+// TestGateAgainstBaseline is the real gate: the module must produce no
+// bounds checks in hot bodies beyond the committed baseline.
+func TestGateAgainstBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module")
+	}
+	fresh, stale, err := Check(Config{ModuleDir: "../../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) > 0 {
+		t.Errorf("new bounds checks in hot paths, missing from baseline: %q", fresh)
+	}
+	if len(stale) > 0 {
+		t.Logf("stale baseline entries (not a failure): %q", stale)
+	}
+}

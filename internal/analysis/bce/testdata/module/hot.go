@@ -1,0 +1,95 @@
+// Package bcefix is the bce gate's fixture: a standalone mini-module whose
+// annotated functions seed bounds checks the compiler provably cannot
+// eliminate, plus clean and cold controls. The gate test compiles this
+// module for real and asserts the exact entry set, so the fixture doubles
+// as a regression test for check_bce output parsing.
+package bcefix
+
+// gather keeps one inherent data-dependent check: idx values are unbounded,
+// so x[idx[i]] must be checked (1 IsInBounds for the gather, 1 for idx[i]
+// is eliminated by the range loop).
+//
+//smat:hotpath
+func gather(x []float64, idx []int) float64 {
+	var s float64
+	for _, j := range idx {
+		s += x[j] // seeded violation 1: data-dependent gather
+	}
+	return s
+}
+
+// offsetIndex indexes past a loop bound through an offset the compiler
+// cannot relate to len(s).
+//
+//smat:hotpath
+func offsetIndex(s []float64, off, n int) float64 {
+	var t float64
+	for i := 0; i < n; i++ {
+		t += s[i+off] // seeded violation 2: offset index vs unrelated bound
+	}
+	return t
+}
+
+// crossSlice drives b's index from a's length.
+//
+//smat:hotpath
+func crossSlice(a, b []float64) float64 {
+	var t float64
+	for i := range a {
+		t += a[i] * b[i] // seeded violation 3: b indexed by len(a)-bounded i
+	}
+	return t
+}
+
+// subSlice reslices with caller-controlled bounds.
+//
+//smat:hotpath
+func subSlice(s []float64, lo, hi int) []float64 {
+	return s[lo:hi] // seeded violation 4: IsSliceInBounds
+}
+
+// makeRowKernel returns the closure actually dispatched; the check inside it
+// must be attributed to "makeRowKernel.func".
+//
+//smat:hotpath-factory
+func makeRowKernel(stride int) func([]float64, int) float64 {
+	return func(x []float64, row int) float64 {
+		return x[row*stride] // seeded violation 5: computed index in factory closure
+	}
+}
+
+// rowPtrWalk mimics the CSR rowPtr[i], rowPtr[i+1] pair fetch.
+//
+//smat:hotpath
+func rowPtrWalk(rowPtr []int, vals []float64, rows int) float64 {
+	var t float64
+	for i := 0; i < rows; i++ {
+		start, end := rowPtr[i], rowPtr[i+1] // seeded violation 6: i+1 vs unproven len
+		for j := start; j < end; j++ {
+			t += vals[j] // seeded violation 7: loaded loop bound
+		}
+	}
+	return t
+}
+
+// clean is annotated but fully provable: a range loop over one slice keeps
+// no checks, so it must NOT appear in the entry set.
+//
+//smat:hotpath
+func clean(s []float64) float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// coldGather carries the same checks as gather but no annotation: the gate
+// must ignore it.
+func coldGather(x []float64, idx []int) float64 {
+	var s float64
+	for _, j := range idx {
+		s += x[j]
+	}
+	return s
+}

@@ -16,12 +16,25 @@
 // literals: any such literal that is not one of the declared artifacts
 // means an experiment writer bypassed the table (or a name was renamed
 // without its artifact).
+//
+// Finally it validates the committed artifacts themselves: every
+// BENCH_*.json at the module root must be declared by the table and carry
+// the full envelope smat-bench writes — the experiment name (matching the
+// file), a non-empty git provenance string, and a data payload with at
+// least one case row carrying a numeric timing/throughput field. A
+// hand-edited or truncated artifact fails the lint run instead of silently
+// shipping an unreproducible number.
 package benchjson
 
 import (
+	"encoding/json"
+	"fmt"
 	"go/ast"
 	"go/types"
+	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 
 	"smat/internal/analysis/framework"
@@ -50,6 +63,7 @@ func run(pass *framework.Pass) error {
 	}
 
 	artifacts := collectTable(pass, table)
+	checkCommittedArtifacts(pass, table, artifacts)
 
 	// Stray artifact literals outside the table.
 	for _, f := range pass.Files {
@@ -135,6 +149,141 @@ func collectTable(pass *framework.Pass, table *ast.FuncDecl) map[string]bool {
 		return false
 	})
 	return artifacts
+}
+
+// checkCommittedArtifacts validates every BENCH_*.json at the module root of
+// the bench driver package: each must be declared by the experiment table
+// and parse as a complete smat-bench envelope. Problems are reported at the
+// experiment table, the one position the drift is fixed from.
+func checkCommittedArtifacts(pass *framework.Pass, table *ast.FuncDecl, artifacts map[string]bool) {
+	if pass.Pkg.Name() != "main" {
+		return // a fixture table, not the bench driver
+	}
+	root := moduleRoot(filepath.Dir(pass.Fset.Position(table.Pos()).Filename))
+	if root == "" {
+		return
+	}
+	paths, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		return
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		base := filepath.Base(path)
+		if !artifacts[base] {
+			pass.Reportf(table.Pos(), "committed artifact %s is not declared by any experimentTable entry", base)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			pass.Reportf(table.Pos(), "committed artifact %s: %v", base, err)
+			continue
+		}
+		for _, problem := range ValidateArtifact(data, base) {
+			pass.Reportf(table.Pos(), "committed artifact %s: %s", base, problem)
+		}
+	}
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// timingKeyRE matches the numeric fields that make a case row a
+// measurement: wall-clock seconds, derived throughput, or a ratio of the
+// two.
+var timingKeyRE = regexp.MustCompile(`(?i)sec|flops|speedup`)
+
+// ValidateArtifact checks one BENCH_*.json payload against the envelope
+// smat-bench writes and returns a description of every violated
+// requirement (empty means valid). filename anchors the experiment-name
+// cross-check.
+func ValidateArtifact(data []byte, filename string) []string {
+	var problems []string
+	var env struct {
+		Experiment string          `json:"experiment"`
+		Git        string          `json:"git"`
+		Data       json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return []string{fmt.Sprintf("not a JSON envelope: %v", err)}
+	}
+	if env.Experiment == "" {
+		problems = append(problems, `missing required field "experiment"`)
+	} else if want := "BENCH_" + env.Experiment + ".json"; want != filename {
+		problems = append(problems, fmt.Sprintf("experiment %q does not match the file name (want %s)", env.Experiment, want))
+	}
+	if env.Git == "" {
+		problems = append(problems, `missing required field "git" (the git describe provenance of the run)`)
+	}
+	if len(env.Data) == 0 || string(env.Data) == "null" {
+		problems = append(problems, `missing required field "data"`)
+		return problems
+	}
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal(env.Data, &payload); err != nil {
+		problems = append(problems, fmt.Sprintf(`"data" is not a JSON object: %v`, err))
+		return problems
+	}
+	rows, ok := caseRows(payload)
+	switch {
+	case !ok:
+		problems = append(problems, `"data" has no case array ("rows")`)
+	case len(rows) == 0:
+		problems = append(problems, "case array is empty: the artifact records no measurements")
+	default:
+		for i, row := range rows {
+			if !hasTimingField(row) {
+				problems = append(problems, fmt.Sprintf("case row %d has no per-case timing field (sec/flops/speedup)", i))
+				break
+			}
+		}
+	}
+	return problems
+}
+
+// caseRows pulls the per-case array out of a payload ("rows" under any
+// casing).
+func caseRows(payload map[string]json.RawMessage) ([]map[string]json.RawMessage, bool) {
+	for key, raw := range payload {
+		if !strings.EqualFold(key, "rows") {
+			continue
+		}
+		var rows []map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, false
+		}
+		return rows, true
+	}
+	return nil, false
+}
+
+// hasTimingField reports whether one case row carries a numeric measurement
+// field.
+func hasTimingField(row map[string]json.RawMessage) bool {
+	for key, raw := range row {
+		if !timingKeyRE.MatchString(key) {
+			continue
+		}
+		var f float64
+		if err := json.Unmarshal(raw, &f); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // isExperimentLit reports whether the composite literal builds a struct with

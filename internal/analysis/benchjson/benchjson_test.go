@@ -1,6 +1,9 @@
 package benchjson
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"smat/internal/analysis/framework/analysistest"
@@ -8,4 +11,73 @@ import (
 
 func TestBenchJSON(t *testing.T) {
 	analysistest.Run(t, Analyzer, "./testdata/src/bj")
+}
+
+// TestValidateArtifact covers the committed-artifact envelope contract: one
+// valid envelope and every seeded way an artifact can be broken.
+func TestValidateArtifact(t *testing.T) {
+	valid := `{
+		"experiment": "steady",
+		"git": "abc1234",
+		"data": {"threads": 8, "rows": [{"workload": "x", "pooled_sec_per_op": 1e-4}]}
+	}`
+	cases := []struct {
+		name     string
+		filename string
+		payload  string
+		wantSub  string // "" means valid
+	}{
+		{"valid", "BENCH_steady.json", valid, ""},
+		{"malformed JSON", "BENCH_steady.json", `{"experiment": "steady",`, "not a JSON envelope"},
+		{"missing experiment", "BENCH_steady.json", `{"git": "abc", "data": {"rows": [{"sec": 1}]}}`, `missing required field "experiment"`},
+		{"name/file mismatch", "BENCH_steady.json", `{"experiment": "batch", "git": "abc", "data": {"rows": [{"sec": 1}]}}`, "does not match the file name"},
+		{"missing git", "BENCH_steady.json", `{"experiment": "steady", "data": {"rows": [{"sec": 1}]}}`, `missing required field "git"`},
+		{"missing data", "BENCH_steady.json", `{"experiment": "steady", "git": "abc"}`, `missing required field "data"`},
+		{"null data", "BENCH_steady.json", `{"experiment": "steady", "git": "abc", "data": null}`, `missing required field "data"`},
+		{"no case array", "BENCH_steady.json", `{"experiment": "steady", "git": "abc", "data": {"threads": 8}}`, "no case array"},
+		{"empty case array", "BENCH_steady.json", `{"experiment": "steady", "git": "abc", "data": {"rows": []}}`, "records no measurements"},
+		{"row without timings", "BENCH_steady.json", `{"experiment": "steady", "git": "abc", "data": {"rows": [{"workload": "x"}]}}`, "no per-case timing field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := ValidateArtifact([]byte(tc.payload), tc.filename)
+			if tc.wantSub == "" {
+				if len(problems) != 0 {
+					t.Fatalf("valid artifact reported: %v", problems)
+				}
+				return
+			}
+			for _, p := range problems {
+				if strings.Contains(p, tc.wantSub) {
+					return
+				}
+			}
+			t.Fatalf("no problem containing %q; got %v", tc.wantSub, problems)
+		})
+	}
+}
+
+// TestCommittedArtifactsValid parses the repository's own committed
+// artifacts through the same validator the analyzer applies.
+func TestCommittedArtifactsValid(t *testing.T) {
+	root := moduleRoot(".")
+	if root == "" {
+		t.Fatal("no module root above the test directory")
+	}
+	paths, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed artifacts")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ValidateArtifact(data, filepath.Base(path)) {
+			t.Errorf("%s: %s", filepath.Base(path), p)
+		}
+	}
 }

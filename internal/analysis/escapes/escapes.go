@@ -14,22 +14,19 @@
 // unrelated edits don't churn the baseline; generic shape names
 // (go.shape.float64 etc.) are normalised to go.shape.T so the entry set is
 // identical across instantiations.
+//
+// The compile itself is shared with the bce gate through
+// compilediag.Build: both request -m=1 plus the check_bce debug flag, so one
+// compiler pass feeds both baselines.
 package escapes
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"os/exec"
 	"path/filepath"
-	"regexp"
 	"sort"
-	"strconv"
 	"strings"
 
-	"smat/internal/analysis/framework"
+	"smat/internal/analysis/compilediag"
 )
 
 // Config parameterises the gate.
@@ -40,7 +37,8 @@ type Config struct {
 	// module matters: generic kernels are only compiled — and escape-analysed
 	// — inside the packages that instantiate them.
 	Patterns []string
-	// GcflagsScope is the package pattern receiving -m=1 (default smat/...).
+	// GcflagsScope is the package pattern receiving the diagnostic flags
+	// (default smat/...).
 	GcflagsScope string
 	// HotDirs are module-relative directories whose annotated functions are
 	// gated (default internal/kernels, internal/autotune).
@@ -77,15 +75,15 @@ type hotRange struct {
 	name       string // function name ("runCSRParallel.func" for closures)
 }
 
-// Current compiles the module with -m=1 and returns the sorted, normalised
-// escape entries inside gated hot bodies.
+// Current compiles the module and returns the sorted, normalised escape
+// entries inside gated hot bodies.
 func Current(cfg Config) ([]string, error) {
 	cfg = cfg.withDefaults()
 	ranges, err := collectHotRanges(cfg)
 	if err != nil {
 		return nil, err
 	}
-	out, err := compileDiagnostics(cfg)
+	out, err := compilediag.Build(cfg.ModuleDir, cfg.GcflagsScope, compilediag.EscapesAndBCEFlags, cfg.Patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -100,26 +98,11 @@ func Check(cfg Config) (fresh, stale []string, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	baseline, err := readBaseline(filepath.Join(cfg.ModuleDir, cfg.BaselinePath))
+	baseline, err := compilediag.ReadBaseline(filepath.Join(cfg.ModuleDir, cfg.BaselinePath))
 	if err != nil {
 		return nil, nil, err
 	}
-	base := map[string]bool{}
-	for _, e := range baseline {
-		base[e] = true
-	}
-	cur := map[string]bool{}
-	for _, e := range current {
-		cur[e] = true
-		if !base[e] {
-			fresh = append(fresh, e)
-		}
-	}
-	for _, e := range baseline {
-		if !cur[e] {
-			stale = append(stale, e)
-		}
-	}
+	fresh, stale = compilediag.Diff(current, baseline)
 	return fresh, stale, nil
 }
 
@@ -130,15 +113,12 @@ func Update(cfg Config) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	var b strings.Builder
-	b.WriteString("# smat-lint escape-analysis baseline: accepted heap escapes inside\n")
-	b.WriteString("# //smat:hotpath bodies. Regenerate with smat-lint -update-escapes.\n")
-	for _, e := range current {
-		b.WriteString(e)
-		b.WriteByte('\n')
+	header := []string{
+		"smat-lint escape-analysis baseline: accepted heap escapes inside",
+		"//smat:hotpath bodies. Regenerate with smat-lint -update-escapes.",
 	}
 	path := filepath.Join(cfg.ModuleDir, cfg.BaselinePath)
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+	if err := compilediag.WriteBaseline(path, header, current); err != nil {
 		return nil, err
 	}
 	return current, nil
@@ -147,92 +127,16 @@ func Update(cfg Config) ([]string, error) {
 // collectHotRanges parses the gated directories (syntax only — no type
 // information is needed to find directives) and gathers annotated bodies.
 func collectHotRanges(cfg Config) ([]hotRange, error) {
+	spans, err := compilediag.Funcs(cfg.ModuleDir, cfg.HotDirs)
+	if err != nil {
+		return nil, err
+	}
 	var ranges []hotRange
-	fset := token.NewFileSet()
-	for _, dir := range cfg.HotDirs {
-		matches, err := filepath.Glob(filepath.Join(cfg.ModuleDir, dir, "*.go"))
-		if err != nil {
-			return nil, err
-		}
-		for _, path := range matches {
-			if strings.HasSuffix(path, "_test.go") {
-				continue
-			}
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %w", path, err)
-			}
-			rel := filepath.ToSlash(filepath.Join(dir, filepath.Base(path)))
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				dirs := framework.FuncDirectives(fd)
-				switch {
-				case dirs["smat:hotpath"]:
-					ranges = append(ranges, hotRange{
-						file:  rel,
-						start: fset.Position(fd.Pos()).Line,
-						end:   fset.Position(fd.End()).Line,
-						name:  fd.Name.Name,
-					})
-				case dirs["smat:hotpath-factory"]:
-					ast.Inspect(fd.Body, func(n ast.Node) bool {
-						ret, ok := n.(*ast.ReturnStmt)
-						if !ok {
-							return !isFuncLit(n)
-						}
-						for _, res := range ret.Results {
-							if lit, ok := res.(*ast.FuncLit); ok {
-								ranges = append(ranges, hotRange{
-									file:  rel,
-									start: fset.Position(lit.Pos()).Line,
-									end:   fset.Position(lit.End()).Line,
-									name:  fd.Name.Name + ".func",
-								})
-							}
-						}
-						return true
-					})
-				}
-			}
-		}
+	for _, s := range compilediag.HotSpans(spans) {
+		ranges = append(ranges, hotRange{file: s.File, start: s.Start, end: s.End, name: s.Name})
 	}
 	return ranges, nil
 }
-
-func isFuncLit(n ast.Node) bool {
-	_, ok := n.(*ast.FuncLit)
-	return ok
-}
-
-// compileDiagnostics runs the compiler with -m=1 and returns its stderr. The
-// build cache replays diagnostics for unchanged packages, so repeated runs
-// stay fast.
-func compileDiagnostics(cfg Config) (string, error) {
-	args := append([]string{"build", "-gcflags=" + cfg.GcflagsScope + "=-m=1"}, cfg.Patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = cfg.ModuleDir
-	var stderr strings.Builder
-	cmd.Stderr = &stderr
-	if err := cmd.Run(); err != nil {
-		return "", fmt.Errorf("go build -m failed: %v\n%s", err, tail(stderr.String(), 2048))
-	}
-	return stderr.String(), nil
-}
-
-func tail(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return "…" + s[len(s)-n:]
-}
-
-var (
-	diagRE  = regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*)$`)
-	shapeRE = regexp.MustCompile(`go\.shape\.[A-Za-z0-9_]+`)
-)
 
 // matchEntries keeps escape diagnostics inside hot ranges and normalises them
 // into stable "file:function: message" entries.
@@ -242,21 +146,14 @@ func matchEntries(cfg Config, ranges []hotRange, buildOutput string) []string {
 		byFile[r.file] = append(byFile[r.file], r)
 	}
 	seen := map[string]bool{}
-	for _, line := range strings.Split(buildOutput, "\n") {
-		m := diagRE.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
+	for _, d := range compilediag.Parse(buildOutput) {
+		if !strings.Contains(d.Msg, "escapes to heap") && !strings.Contains(d.Msg, "moved to heap") {
 			continue
 		}
-		msg := m[3]
-		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
-			continue
-		}
-		file := filepath.ToSlash(filepath.Clean(m[1]))
-		lineNo, _ := strconv.Atoi(m[2])
-		for _, r := range byFile[file] {
-			if lineNo >= r.start && lineNo <= r.end {
-				msg = shapeRE.ReplaceAllString(msg, "go.shape.T")
-				seen[fmt.Sprintf("%s:%s: %s", file, r.name, msg)] = true
+		for _, r := range byFile[d.File] {
+			if d.Line >= r.start && d.Line <= r.end {
+				msg := compilediag.NormalizeShapes(d.Msg)
+				seen[fmt.Sprintf("%s:%s: %s", d.File, r.name, msg)] = true
 				break
 			}
 		}
@@ -267,25 +164,4 @@ func matchEntries(cfg Config, ranges []hotRange, buildOutput string) []string {
 	}
 	sort.Strings(entries)
 	return entries
-}
-
-// readBaseline loads the baseline entries; a missing file is an empty
-// baseline (every current entry is then new).
-func readBaseline(path string) ([]string, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var entries []string
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		entries = append(entries, line)
-	}
-	return entries, nil
 }

@@ -30,7 +30,7 @@ var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 // directory), applies the analyzer, and reports mismatches through t.
 func Run(t *testing.T, analyzer *framework.Analyzer, dir string) {
 	t.Helper()
-	pkgs, err := framework.Load(framework.LoadConfig{Tests: true}, dir)
+	pkgs, err := framework.LoadCached(framework.LoadConfig{Tests: true}, dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}

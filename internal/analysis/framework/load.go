@@ -41,6 +41,23 @@ type LoadConfig struct {
 	Env []string
 }
 
+// goarch resolves the architecture the loader should size types for: an
+// explicit GOARCH in the config env wins (cross-arch lint runs set it there
+// or in the process environment), otherwise the host architecture. Without
+// this, a `GOARCH=386 smat-lint` run would check 64-bit-atomic alignment
+// against the host's 8-byte word and miss every 32-bit violation.
+func goarch(env []string) string {
+	for i := len(env) - 1; i >= 0; i-- {
+		if v, ok := strings.CutPrefix(env[i], "GOARCH="); ok && v != "" {
+			return v
+		}
+	}
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
 // listPackage is the subset of `go list -json` output the loader consumes.
 type listPackage struct {
 	ImportPath  string
@@ -170,7 +187,7 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Fset: fset, Syntax: syntax, Info: info}
 		conf := types.Config{
 			Importer: imp,
-			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Sizes:    types.SizesFor("gc", goarch(cfg.Env)),
 			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 		}
 		tpkg, _ := conf.Check(t.ImportPath, fset, syntax, info)

@@ -1,0 +1,125 @@
+package framework
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const fixtureBase = "smat/internal/analysis/framework/testdata/src"
+
+func TestLoadMultiPackageDeps(t *testing.T) {
+	// Listing only the chain root must still type-check it fully: mid and
+	// leaf resolve through export data, not source.
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/dep/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (deps must not become targets)", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if got := p.Types.Path(); got != fixtureBase+"/dep/top" {
+		t.Errorf("import path = %q", got)
+	}
+	// The import chain must be visible in the type info.
+	var sawMid bool
+	for _, imp := range p.Types.Imports() {
+		if strings.HasSuffix(imp.Path(), "/dep/mid") {
+			sawMid = true
+		}
+	}
+	if !sawMid {
+		t.Errorf("top's imports %v missing dep/mid", p.Types.Imports())
+	}
+
+	// Listing all three at once yields three distinct target packages.
+	pkgs, err = Load(LoadConfig{}, "./testdata/src/dep/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("dep/... matched %d packages, want 3", len(pkgs))
+	}
+}
+
+func TestLoadGenericsViaExportData(t *testing.T) {
+	// genuse instantiates genlib generics; genlib is NOT a listed target, so
+	// its type parameters must survive the export-data round trip.
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/generics/genuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors importing generic package: %v", p.TypeErrors)
+	}
+	obj := p.Types.Scope().Lookup("UsePair")
+	if obj == nil {
+		t.Fatal("UsePair not in scope")
+	}
+	sig := obj.Type().(*types.Signature)
+	ret := sig.Results().At(0).Type()
+	named, ok := ret.(*types.Named)
+	if !ok {
+		t.Fatalf("UsePair result is %T, want instantiated named type", ret)
+	}
+	if named.TypeArgs() == nil || named.TypeArgs().Len() != 1 {
+		t.Errorf("Pair instantiation lost its type arguments: %v", named)
+	}
+	if named.Obj().Pkg().Path() != fixtureBase+"/generics/genlib" {
+		t.Errorf("Pair's origin package = %q", named.Obj().Pkg().Path())
+	}
+}
+
+func TestLoadTypeErrorPackageFailsGracefully(t *testing.T) {
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/typeerr")
+	if err == nil {
+		t.Fatalf("expected a load error for a type-broken package, got %d packages", len(pkgs))
+	}
+	// The driver maps this error to exit 2; the message must name the package
+	// so the failure is actionable.
+	if !strings.Contains(err.Error(), "typeerr") {
+		t.Errorf("load error does not identify the broken package: %v", err)
+	}
+}
+
+func TestLoadCachedReturnsSameResult(t *testing.T) {
+	a, err := LoadCached(LoadConfig{}, "./testdata/src/dep/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadCached(LoadConfig{}, "./testdata/src/dep/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("cache miss: second load returned a different package object")
+	}
+	// A different configuration must not alias the first entry.
+	c, err := LoadCached(LoadConfig{Tests: true}, "./testdata/src/dep/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == 1 && c[0] == a[0] {
+		t.Errorf("distinct configs must not share cache entries")
+	}
+}
+
+func TestGoarchResolution(t *testing.T) {
+	if got := goarch([]string{"GOARCH=386"}); got != "386" {
+		t.Errorf("goarch from env = %q, want 386", got)
+	}
+	if got := goarch([]string{"GOARCH=arm", "GOARCH=386"}); got != "386" {
+		t.Errorf("last GOARCH must win, got %q", got)
+	}
+	if got := goarch(nil); got == "" {
+		t.Errorf("goarch must fall back to a non-empty host arch")
+	}
+}

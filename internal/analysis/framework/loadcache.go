@@ -1,0 +1,95 @@
+package framework
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// loadCache memoizes Load results so the driver, the compiler-feedback gates,
+// and analysistest fixtures sharing one configuration pay the go-list +
+// type-check cost once per process. Keyed by the full configuration: working
+// directory, test inclusion, environment, and pattern list.
+var loadCache = struct {
+	sync.Mutex
+	m map[string]*loadEntry
+}{m: map[string]*loadEntry{}}
+
+type loadEntry struct {
+	once sync.Once
+	pkgs []*Package
+	err  error
+}
+
+func loadKey(cfg LoadConfig, patterns []string) string {
+	env := append([]string{}, cfg.Env...)
+	sort.Strings(env)
+	parts := []string{"dir=" + cfg.Dir}
+	if cfg.Tests {
+		parts = append(parts, "tests")
+	}
+	parts = append(parts, "env="+strings.Join(env, "\x00"), "pat="+strings.Join(patterns, "\x00"))
+	return strings.Join(parts, "\x01")
+}
+
+// LoadCached is Load with process-lifetime memoization. Concurrent callers
+// with the same configuration share one underlying Load; distinct
+// configurations load independently and in parallel.
+func LoadCached(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	key := loadKey(cfg, patterns)
+	loadCache.Lock()
+	e, ok := loadCache.m[key]
+	if !ok {
+		e = &loadEntry{}
+		loadCache.m[key] = e
+	}
+	loadCache.Unlock()
+	e.once.Do(func() { e.pkgs, e.err = Load(cfg, patterns...) })
+	return e.pkgs, e.err
+}
+
+// RunParallel is Run with package-level parallelism: each package gets its
+// own goroutine running the full analyzer list (analyzers are pure functions
+// of their Pass, so cross-package concurrency is safe). Results are merged
+// and position-sorted identically to Run; the first analyzer error wins.
+func RunParallel(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			perPkg[i], errs[i] = Run(analyzers, []*Package{pkg})
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		diags = append(diags, perPkg[i]...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,3 @@
+package leaf
+
+func Two() int { return 2 }

@@ -1,0 +1,5 @@
+package mid
+
+import "smat/internal/analysis/framework/testdata/src/dep/leaf"
+
+func Four() int { return 2 * leaf.Two() }

@@ -1,0 +1,8 @@
+// Package top sits at the root of a three-package dependency chain
+// (top → mid → leaf) exercising the loader's export-data resolution of
+// transitive dependencies.
+package top
+
+import "smat/internal/analysis/framework/testdata/src/dep/mid"
+
+func Eight() int { return 2 * mid.Four() }

@@ -1,0 +1,29 @@
+// Package genlib exports generic API so the loader tests can verify that
+// type parameters round-trip through compiler export data when another
+// package imports and instantiates them.
+package genlib
+
+// Number mirrors the kernel element-type constraint shape.
+type Number interface {
+	~int | ~float32 | ~float64
+}
+
+// Pair is a generic exported type.
+type Pair[T Number] struct {
+	A, B T
+}
+
+// Sum is a generic exported function.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Scale returns a closure over the type parameter, the funcval shape the
+// kernel registry uses.
+func Scale[T Number](k T) func(T) T {
+	return func(x T) T { return k * x }
+}

@@ -1,0 +1,19 @@
+// Package genuse instantiates genlib's generics across an import boundary,
+// so loading it (without also listing genlib as a target) forces the
+// importer to reconstruct type parameters from export data alone.
+package genuse
+
+import "smat/internal/analysis/framework/testdata/src/generics/genlib"
+
+func UseSum() float64 {
+	return genlib.Sum([]float64{1, 2, 3})
+}
+
+func UsePair() genlib.Pair[int] {
+	return genlib.Pair[int]{A: 1, B: 2}
+}
+
+func UseScale() float32 {
+	double := genlib.Scale[float32](2)
+	return double(21)
+}

@@ -1,0 +1,7 @@
+// Package typeerr fails to compile on purpose: the loader tests assert that
+// smat-lint surfaces this as a load error (driver exit 2), not a panic.
+package typeerr
+
+func Broken() int {
+	return undefinedIdentifier + "not an int"
+}

@@ -1,0 +1,146 @@
+package inlinegate
+
+import (
+	"strings"
+	"testing"
+)
+
+func fixtureCfg() Config {
+	return Config{
+		ModuleDir:    "testdata/module",
+		GcflagsScope: "inlfix/...",
+		PolicyPath:   "policy.txt",
+	}
+}
+
+// TestFixtureSeededViolations compiles the fixture module for real and
+// asserts the gate reports every seeded violation kind exactly once, with
+// the healthy entries silent.
+func TestFixtureSeededViolations(t *testing.T) {
+	rep, err := Check(fixtureCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string][]Violation{}
+	for _, v := range rep.Violations {
+		byKind[v.Kind] = append(byKind[v.Kind], v)
+	}
+	expect := map[string]string{
+		"cost-exceeded":     "hot.go:small",
+		"lost-inline":       "hot.go:big",
+		"noinline-violated": "hot.go:leaky",
+		"missing-function":  "hot.go:ghost",
+		"malformed-policy":  "broken-target-line",
+	}
+	for kind, entrySub := range expect {
+		vs := byKind[kind]
+		if len(vs) != 1 {
+			t.Errorf("kind %s: got %d violations, want 1: %v", kind, len(vs), vs)
+			continue
+		}
+		if !strings.Contains(vs[0].Entry, entrySub) {
+			t.Errorf("kind %s reported for %q, want entry containing %q", kind, vs[0].Entry, entrySub)
+		}
+	}
+	if len(rep.Violations) != len(expect) {
+		t.Errorf("total violations = %d, want %d:\n%v", len(rep.Violations), len(expect), rep.Violations)
+	}
+	// The honest inline entry drifted from its recorded cost=100 (real cost
+	// is tiny) but stays within slack → note, not violation.
+	var sawDrift bool
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "hot.go:ok") {
+			sawDrift = true
+		}
+	}
+	if !sawDrift {
+		t.Errorf("expected a cost-drift note for hot.go:ok; notes: %v", rep.Notes)
+	}
+}
+
+func TestParseDecisions(t *testing.T) {
+	out := strings.Join([]string{
+		"# smat/internal/kernels",
+		"./internal/kernels/csr.go:46:6: can inline kernels.csrChunk[go.shape.float64] with cost 78 as: func(...) { body }",
+		"./internal/kernels/csr.go:23:6: cannot inline kernels.csrRowRangeUnroll4[go.shape.float64]: function too complex: cost 158 exceeds budget 80",
+		"./internal/kernels/kernels.go:311:6: cannot inline kernels.formatMismatch[go.shape.float64]: marked go:noinline",
+		"./internal/autotune/runtime.go:288:6: cannot inline aliasedVectors: marked go:noinline",
+		"./internal/kernels/hyb.go:103:6: can inline kernels.(*Library[float64]).RegisterHYB with cost 61 as: method expr",
+		"./internal/kernels/csr.go:68:9: can inline kernels.runCSRParallel[go.shape.float64].func2 with cost 156 as: func(...) { body }",
+	}, "\n")
+	byFile := parseDecisions(out)
+
+	find := func(file, name string) *decision {
+		for i := range byFile[file] {
+			if nameMatches(byFile[file][i].name, name) {
+				return &byFile[file][i]
+			}
+		}
+		return nil
+	}
+	if d := find("internal/kernels/csr.go", "csrChunk"); d == nil || !d.canInline || d.cost != 78 {
+		t.Errorf("csrChunk: %+v", d)
+	}
+	if d := find("internal/kernels/csr.go", "csrRowRangeUnroll4"); d == nil || d.canInline || d.cost != 158 {
+		t.Errorf("csrRowRangeUnroll4: %+v", d)
+	}
+	if d := find("internal/kernels/kernels.go", "formatMismatch"); d == nil || !d.noinlineMk {
+		t.Errorf("formatMismatch: %+v", d)
+	}
+	if d := find("internal/autotune/runtime.go", "aliasedVectors"); d == nil || !d.noinlineMk {
+		t.Errorf("bare-name aliasedVectors: %+v", d)
+	}
+	if d := find("internal/kernels/hyb.go", "(*Library).RegisterHYB"); d == nil || !d.canInline || d.cost != 61 {
+		t.Errorf("bracket-stripped method name: %+v", d)
+	}
+	if d := find("internal/kernels/csr.go", "runCSRParallel.func2"); d == nil || !d.canInline {
+		t.Errorf("closure name: %+v", d)
+	}
+}
+
+func TestEvaluateCostSemantics(t *testing.T) {
+	out := strings.Join([]string{
+		"./k.go:1:1: can inline p.f[go.shape.float64] with cost 70 as: func() { body }",
+		"./k.go:1:1: can inline p.f[go.shape.float32] with cost 75 as: func() { body }",
+	}, "\n")
+	// Max cost across instantiations (75) is judged, not the first seen.
+	rep := evaluate(Config{DefaultSlack: 40}.withDefaults(), "inline k.go:f cost=74 slack=0\n", out)
+	if len(rep.Violations) != 1 || rep.Violations[0].Kind != "cost-exceeded" {
+		t.Errorf("expected cost-exceeded on max instantiation cost, got %v", rep.Violations)
+	}
+	rep = evaluate(Config{}.withDefaults(), "inline k.go:f cost=75\n", out)
+	if len(rep.Violations) != 0 || len(rep.Notes) != 0 {
+		t.Errorf("exact cost must be silent, got %v / %v", rep.Violations, rep.Notes)
+	}
+	rep = evaluate(Config{}.withDefaults(), "inline k.go:f cost=70\n", out)
+	if len(rep.Violations) != 0 || len(rep.Notes) != 1 {
+		t.Errorf("in-slack drift must be one note, got %v / %v", rep.Violations, rep.Notes)
+	}
+}
+
+func TestSplitEntry(t *testing.T) {
+	file, name, ok := splitEntry("internal/kernels/csr.go:runCSRParallel.func2")
+	if !ok || file != "internal/kernels/csr.go" || name != "runCSRParallel.func2" {
+		t.Errorf("splitEntry = %q %q %v", file, name, ok)
+	}
+	if _, _, ok := splitEntry("no-go-file:name"); ok {
+		t.Error("splitEntry must reject targets without .go:")
+	}
+}
+
+// TestGateAgainstPolicy is the real gate over this module.
+func TestGateAgainstPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module with -m=2")
+	}
+	rep, err := Check(Config{ModuleDir: "../../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("inlining policy violations:\n%v", rep.Violations)
+	}
+	for _, n := range rep.Notes {
+		t.Logf("note: %s", n)
+	}
+}

@@ -1,0 +1,3 @@
+module inlfix
+
+go 1.22

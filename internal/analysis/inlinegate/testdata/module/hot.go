@@ -1,0 +1,43 @@
+// Package inlfix is the inlinegate fixture: a standalone mini-module whose
+// functions and policy file seed one violation of every kind the gate
+// reports, plus healthy entries that must stay quiet.
+package inlfix
+
+// small is inlinable; the policy under-records its cost with zero slack →
+// cost-exceeded.
+func small(a, b int) int {
+	return a*b + a - b
+}
+
+// big is recursive, which the inliner refuses outright; the policy demands
+// inline → lost-inline.
+func big(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + big(n-1)
+}
+
+// leaky is trivially inlinable but the policy demands noinline (as if a
+// go:noinline pragma was deleted) → noinline-violated.
+func leaky(msg string) string {
+	return "fixture: " + msg
+}
+
+// panicky keeps its pragma; its noinline entry must pass.
+//
+//go:noinline
+func panicky(msg string) {
+	panic("fixture: " + msg)
+}
+
+// ok is inlinable with an honest recorded cost; its inline entry must pass.
+func ok(x int) int {
+	return x + 1
+}
+
+// Use ties everything together so nothing is compiled out.
+func Use(n int) int {
+	defer panicky("never")
+	return small(n, 2) + big(n) + len(leaky("x")) + ok(n)
+}

@@ -216,6 +216,8 @@ func (t *Tuner[T]) accountAmortization(m *matrix.CSR[T], d *Decision, op *Operat
 // zero-conversion-cost default of the payoff model. No probes run — the CSR
 // input is wrapped as-is with the model's CSR kernel and the default batch
 // crossover.
+//
+//smat:atomic-init
 func (t *Tuner[T]) incumbent(m *matrix.CSR[T]) *Operator[T] {
 	mat := &kernels.Mat[T]{Format: matrix.FormatCSR, CSR: m}
 	op := newOperator(mat, t.kernelFor(matrix.FormatCSR), t.pool, m.NNZ())
@@ -330,6 +332,7 @@ func (t *Tuner[T]) applyAmortized(m *matrix.CSR[T], d *Decision, entry CacheEntr
 // operator serving tuned CSR permanently — correct, just not faster.
 //
 //smat:syncsafe
+//smat:atomic-publish
 func (t *Tuner[T]) convertWorker(op *Operator[T], m *matrix.CSR[T], entry CacheEntry, crossover int, hold <-chan struct{}) {
 	defer close(op.convDone)
 	if hold != nil {

@@ -167,6 +167,8 @@ type Operator[T matrix.Float] struct {
 
 // newOperator wraps a materialised matrix and kernel in an operator whose
 // engine pointer is already published.
+//
+//smat:atomic-publish
 func newOperator[T matrix.Float](mat *kernels.Mat[T], k *kernels.Kernel[T], pool *kernels.Pool[T], nnz int) *Operator[T] {
 	op := &Operator[T]{pool: pool, nnz: nnz}
 	op.eng.Store(&engine[T]{mat: mat, kernel: k})
@@ -560,6 +562,8 @@ func (t *Tuner[T]) TuneOpts(m *matrix.CSR[T], opts TuneOptions) (*Operator[T], *
 // apply materialises a cached decision for one concrete matrix: convert to
 // the cached format and bind the cached kernel. It fails only when the
 // format's zero-fill guard rejects this particular matrix.
+//
+//smat:atomic-init
 func (t *Tuner[T]) apply(m *matrix.CSR[T], d *Decision, entry CacheEntry) (*Operator[T], error) {
 	mat, timing, err := kernels.ConvertTimedParams(m, entry.Format, t.model.MaxFill, entry.Params)
 	d.ConvertSec = timing.Sec
@@ -689,6 +693,8 @@ var batchProbeWidths = [...]int{2, 4, 8}
 // operator and measures the batch-width crossover, recording it in the
 // decision (and hence the cache). Formats without a registered batch kernel
 // leave BatchCrossover at 0 and MulVecBatch always loops.
+//
+//smat:atomic-init
 func (t *Tuner[T]) bindBatch(op *Operator[T], d *Decision) {
 	e := op.eng.Load()
 	e.batchCrossover = NeverBatch

@@ -85,6 +85,8 @@ func (s *poolState[T]) shutdown() {
 // when the pool is busy with another SpMV or closed (the caller then falls
 // back to spawning). The dispatching goroutine computes chunk 0 itself and
 // blocks on the completion barrier. The whole dispatch allocates nothing.
+//
+//smat:wake-barrier
 func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T, k int) bool {
 	if !s.mu.TryLock() {
 		return false
@@ -125,6 +127,7 @@ func (s *poolState[T]) start() {
 // the dispatcher never reuses the slots while a worker still reads them.
 //
 //smat:hotpath
+//smat:wake-barrier
 func (s *poolState[T]) worker(i int) {
 	for {
 		select {
