@@ -1,0 +1,49 @@
+package amg
+
+import (
+	"testing"
+
+	"smat/internal/gen"
+)
+
+// TestVCycleSteadyStateAllocs pins the satellite contract: once the
+// hierarchy is set up, a V-cycle runs entirely in the per-level and
+// per-factorisation workspaces — zero allocations per cycle.
+func TestVCycleSteadyStateAllocs(t *testing.T) {
+	a := gen.Laplacian2D5pt[float64](24, 24)
+	h, err := Setup(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	h.VCycle(b, x) // warm
+	if avg := testing.AllocsPerRun(20, func() { h.VCycle(b, x) }); avg != 0 {
+		t.Errorf("steady-state V-cycle allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestSolvePCGSteadyStateAllocs pins the hoisted CG scratch: after the
+// first solve through a hierarchy, repeated SolvePCG calls reuse it.
+func TestSolvePCGSteadyStateAllocs(t *testing.T) {
+	a := gen.Laplacian2D5pt[float64](16, 16)
+	h, err := Setup(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	h.SolvePCG(b, x, 1e-8, 50) // warm: reserves the scratch
+	if avg := testing.AllocsPerRun(5, func() {
+		clear(x)
+		h.SolvePCG(b, x, 1e-8, 50)
+	}); avg != 0 {
+		t.Errorf("steady-state SolvePCG allocates %.1f times per run, want 0", avg)
+	}
+}

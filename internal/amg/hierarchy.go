@@ -3,7 +3,9 @@ package amg
 import (
 	"fmt"
 
+	"smat/internal/kernels"
 	"smat/internal/matrix"
+	"smat/internal/solve"
 )
 
 // SpMV is the pluggable sparse matrix-vector product every solve-phase
@@ -105,6 +107,7 @@ type Hierarchy[T matrix.Float] struct {
 	Levels []*Level[T]
 	lu     *denseLU[T]
 	opts   Options
+	cgws   solve.CGScratch[T] // reusable PCG workspace: SolvePCG allocates only on first use
 }
 
 // csrOp is the default operator: basic CSR SpMV.
@@ -123,8 +126,19 @@ func (o csrOp[T]) MulVec(x, y []T) {
 // Setup builds the multigrid hierarchy from a square sparse operator:
 // strength graph → coarsening → direct interpolation → Galerkin triple
 // product per level, until the coarse-size or level limit. Operators default
-// to plain CSR; call Bind to swap in tuned SpMVs.
+// to plain CSR; call Bind to swap in tuned SpMVs. The Galerkin products run
+// serially; SetupPooled parallelises them over a kernel worker pool.
 func Setup[T matrix.Float](a *matrix.CSR[T], opts Options) (*Hierarchy[T], error) {
+	return SetupPooled(a, opts, nil)
+}
+
+// SetupPooled is Setup with the Galerkin coarse-grid products — the setup
+// phase's dominant cost — dispatched as row-blocked fused SpGEMM chunks
+// over the given kernel worker pool (kernels.GalerkinRAP). A nil pool runs
+// the same fused product serially, which already beats the two-pass
+// matrix.TripleProduct by skipping the R·A intermediate. Sharing the
+// tuner's pool (Tuner.Pool()) keeps setup and solve on one set of workers.
+func SetupPooled[T matrix.Float](a *matrix.CSR[T], opts Options, pool *kernels.Pool[T]) (*Hierarchy[T], error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("amg: operator is %dx%d, want square", a.Rows, a.Cols)
 	}
@@ -147,7 +161,7 @@ func Setup[T matrix.Float](a *matrix.CSR[T], opts Options) (*Hierarchy[T], error
 		r := p.Transpose()
 		lvl := &Level[T]{A: cur, P: p, R: r, Diag: cur.Diagonal()}
 		h.Levels = append(h.Levels, lvl)
-		cur = matrix.TripleProduct(r, cur, p)
+		cur = kernels.GalerkinRAP(r, cur, p, pool, 0)
 	}
 	h.Levels = append(h.Levels, &Level[T]{A: cur, Diag: cur.Diagonal()})
 	for _, lvl := range h.Levels {

@@ -1,9 +1,8 @@
 package amg
 
 import (
-	"math"
-
 	"smat/internal/matrix"
+	"smat/internal/solve"
 )
 
 // Preconditioner applies z ≈ A⁻¹ r.
@@ -22,80 +21,24 @@ func (h *Hierarchy[T]) Apply(r, z []T) {
 // PCG solves the symmetric positive-definite system A x = b with
 // preconditioned conjugate gradients, refining x in place. a is the
 // operator's SpMV (tuned or plain), M the preconditioner (nil for plain CG).
-// Inner products accumulate in float64 regardless of T.
+// It delegates to solve.CG (shared unrolled float64 inner products,
+// breakdown detection); a breakdown — the operator not SPD along a search
+// direction — surfaces as an early, non-converged return, matching the
+// historical behaviour of this entry point.
 func PCG[T matrix.Float](a SpMV[T], m Preconditioner[T], b, x []T, tol float64, maxIter int) SolveStats {
-	n := len(b)
-	r := make([]T, n)
-	z := make([]T, n)
-	p := make([]T, n)
-	ap := make([]T, n)
+	var ws solve.CGScratch[T]
+	return pcgWith(&ws, a, m, b, x, tol, maxIter)
+}
 
-	normB := norm2(b)
-	if normB == 0 {
-		clear(x)
-		return SolveStats{Converged: true}
-	}
-	// r = b − A x.
-	a.MulVec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	applyPrec(m, r, z)
-	copy(p, z)
-	rz := dot(r, z)
-
-	var stats SolveStats
-	for stats.Iterations = 0; stats.Iterations < maxIter; stats.Iterations++ {
-		stats.RelResidual = norm2(r) / normB
-		if stats.RelResidual <= tol {
-			stats.Converged = true
-			return stats
-		}
-		a.MulVec(p, ap)
-		pap := dot(p, ap)
-		if pap <= 0 {
-			// Not SPD along p (or numerically exhausted): stop.
-			return stats
-		}
-		alpha := rz / pap
-		for i := range x {
-			x[i] += T(alpha) * p[i]
-			r[i] -= T(alpha) * ap[i]
-		}
-		applyPrec(m, r, z)
-		rzNew := dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + T(beta)*p[i]
-		}
-	}
-	stats.RelResidual = norm2(r) / normB
-	stats.Converged = stats.RelResidual <= tol
-	return stats
+func pcgWith[T matrix.Float](ws *solve.CGScratch[T], a SpMV[T], m Preconditioner[T], b, x []T, tol float64, maxIter int) SolveStats {
+	stats, _ := solve.CGWith[T](ws, a, m, b, x, tol, maxIter)
+	return SolveStats(stats)
 }
 
 // SolvePCG solves A x = b with CG preconditioned by this hierarchy, using
 // the hierarchy's (possibly SMAT-bound) operator for the fine-level SpMV.
+// The CG work vectors live on the hierarchy, so repeated solves through one
+// hierarchy allocate only on the first call.
 func (h *Hierarchy[T]) SolvePCG(b, x []T, tol float64, maxIter int) SolveStats {
-	return PCG[T](h.Levels[0].aOp, h, b, x, tol, maxIter)
-}
-
-func applyPrec[T matrix.Float](m Preconditioner[T], r, z []T) {
-	if m == nil {
-		copy(z, r)
-		return
-	}
-	m.Apply(r, z)
-}
-
-func dot[T matrix.Float](a, b []T) float64 {
-	s := 0.0
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
-	}
-	if math.IsNaN(s) {
-		return 0
-	}
-	return s
+	return pcgWith(&h.cgws, h.Levels[0].aOp, h, b, x, tol, maxIter)
 }

@@ -5,18 +5,22 @@ import (
 	"math"
 
 	"smat/internal/matrix"
+	"smat/internal/solve"
 )
 
 // denseLU is the coarsest-level direct solver: LU with partial pivoting.
+// ytmp is the forward-substitution scratch, hoisted out of solve so the
+// per-cycle coarse solve allocates nothing.
 type denseLU[T matrix.Float] struct {
 	n    int
 	lu   []float64
 	perm []int
+	ytmp []float64
 }
 
 func factorDense[T matrix.Float](a *matrix.CSR[T]) (*denseLU[T], error) {
 	n := a.Rows
-	f := &denseLU[T]{n: n, lu: make([]float64, n*n), perm: make([]int, n)}
+	f := &denseLU[T]{n: n, lu: make([]float64, n*n), perm: make([]int, n), ytmp: make([]float64, n)}
 	for r := 0; r < n; r++ {
 		f.perm[r] = r
 		for jj := a.RowPtr[r]; jj < a.RowPtr[r+1]; jj++ {
@@ -55,7 +59,7 @@ func factorDense[T matrix.Float](a *matrix.CSR[T]) (*denseLU[T], error) {
 // solve computes x = A⁻¹ b in place.
 func (f *denseLU[T]) solve(b, x []T) {
 	n := f.n
-	ytmp := make([]float64, n)
+	ytmp := f.ytmp
 	// Forward substitution (unit lower triangular, permuted rows).
 	for i := 0; i < n; i++ {
 		v := float64(b[f.perm[i]])
@@ -153,7 +157,7 @@ type SolveStats struct {
 // refining x in place.
 func (h *Hierarchy[T]) Solve(b, x []T, tol float64, maxIter int) SolveStats {
 	lvl := h.Levels[0]
-	normB := norm2(b)
+	normB := solve.Norm2(b)
 	if normB == 0 {
 		clear(x)
 		return SolveStats{Converged: true}
@@ -175,12 +179,4 @@ func (h *Hierarchy[T]) Solve(b, x []T, tol float64, maxIter int) SolveStats {
 		}
 	}
 	return stats
-}
-
-func norm2[T matrix.Float](v []T) float64 {
-	s := 0.0
-	for _, x := range v {
-		s += float64(x) * float64(x)
-	}
-	return math.Sqrt(s)
 }

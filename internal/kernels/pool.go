@@ -34,8 +34,11 @@ type poolState[T matrix.Float] struct {
 
 	// Dispatch state, written under mu before the workers are woken:
 	// wake[i] hands chunk i+1 to worker i, and the last worker to finish
-	// signals done (the barrier the dispatcher blocks on).
+	// signals done (the barrier the dispatcher blocks on). Exactly one of
+	// fn (SpMV dispatch) and job (generic chunked dispatch, e.g. SpGEMM)
+	// is non-nil per dispatch.
 	fn      rangeFn[T]
+	job     func(chunk, lo, hi int)
 	mat     *Mat[T]
 	x, y    []T
 	k       int
@@ -44,6 +47,12 @@ type poolState[T matrix.Float] struct {
 	wake    []chan struct{}
 	done    chan struct{}
 	stop    chan struct{}
+
+	// arena is the SpGEMM scratch attached to this pool, handed out under
+	// its own lock (arenaOf) so repeated products reuse it while concurrent
+	// callers fall back to private scratch.
+	arenaMu sync.Mutex
+	arena   *spgemmArena[T]
 }
 
 // NewPool builds a worker pool with the given thread fan-out; threads ≤ 0
@@ -110,6 +119,71 @@ func (s *poolState[T]) tryRun(bounds []int, fn rangeFn[T], m *Mat[T], x, y []T, 
 	return true
 }
 
+// RunChunks executes fn over the half-open chunks of bounds — chunk c covers
+// [bounds[c], bounds[c+1]) — reusing the pool's persistent workers. Chunk 0
+// runs on the calling goroutine. When the pool is nil, busy with another
+// dispatch, closed, or the chunk count exceeds the worker fan-out, the call
+// falls back to one fresh goroutine per extra chunk, so it always completes.
+// This is the dispatch substrate for non-SpMV row-blocked work (SpGEMM,
+// Galerkin products) that wants the same threads without new goroutines.
+func (p *Pool[T]) RunChunks(bounds []int, fn func(chunk, lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks <= 0 {
+		return
+	}
+	if nchunks == 1 {
+		fn(0, bounds[0], bounds[1])
+		return
+	}
+	if p != nil && p.s.tryRunJob(bounds, fn) {
+		return
+	}
+	spawnJobChunks(bounds, fn)
+}
+
+// tryRunJob is tryRun's generic-job twin: same ownership, wake, and barrier
+// protocol, with s.job carrying the closure instead of the SpMV quintuple.
+//
+//smat:wake-barrier
+func (s *poolState[T]) tryRunJob(bounds []int, fn func(chunk, lo, hi int)) bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	nchunks := len(bounds) - 1
+	if s.closed || nchunks > s.threads {
+		return false
+	}
+	if !s.started {
+		s.start()
+	}
+	s.job, s.bounds = fn, bounds
+	s.pending.Store(int32(nchunks - 1))
+	for w := 0; w < nchunks-1; w++ {
+		s.wake[w] <- struct{}{}
+	}
+	fn(0, bounds[0], bounds[1])
+	<-s.done
+	s.job, s.bounds = nil, nil
+	return true
+}
+
+// spawnJobChunks is RunChunks' pool-less fallback: a goroutine per chunk
+// beyond the caller's, joined on a WaitGroup.
+func spawnJobChunks(bounds []int, fn func(chunk, lo, hi int)) {
+	nchunks := len(bounds) - 1
+	var wg sync.WaitGroup
+	wg.Add(nchunks - 1)
+	for t := 1; t < nchunks; t++ {
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(t, bounds[t], bounds[t+1])
+	}
+	fn(0, bounds[0], bounds[1])
+	wg.Wait()
+}
+
 // start launches the workers. It runs under mu on the first parallel
 // dispatch, so pools that only ever see serial work cost no goroutines.
 func (s *poolState[T]) start() {
@@ -134,7 +208,11 @@ func (s *poolState[T]) worker(i int) {
 		case <-s.stop:
 			return
 		case <-s.wake[i]:
-			s.fn(s.mat, s.x, s.y, s.k, s.bounds[i+1], s.bounds[i+2])
+			if job := s.job; job != nil {
+				job(i+1, s.bounds[i+1], s.bounds[i+2])
+			} else {
+				s.fn(s.mat, s.x, s.y, s.k, s.bounds[i+1], s.bounds[i+2])
+			}
 			if s.pending.Add(-1) == 0 {
 				s.done <- struct{}{}
 			}

@@ -71,6 +71,12 @@ func (m *CSR[T]) Mul(b *CSR[T]) *CSR[T] {
 	return out
 }
 
+// SortInts sorts an int slice in place with the same hybrid
+// insertion/quick sort Mul uses on its result rows, so external SpGEMM
+// implementations (internal/kernels) can reproduce Mul's output bit for
+// bit, ties included.
+func SortInts(a []int) { insertionSortInts(a) }
+
 // insertionSortInts sorts small integer slices in place. SpGEMM result rows
 // are short and nearly sorted, where insertion sort beats sort.Ints.
 func insertionSortInts(a []int) {

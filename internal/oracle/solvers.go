@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"smat/internal/autotune"
+	"smat/internal/gen"
+	"smat/internal/matrix"
+	"smat/internal/mining"
+	"smat/internal/solve"
+)
+
+// solveTolOf returns the convergence tolerance the differential solver
+// suite requests per element type: deep enough to be a real solve, shallow
+// enough for float32 to reach it.
+func solveTolOf[T matrix.Float]() float64 {
+	if epsOf[T]() == 0x1p-23 {
+		return 1e-4
+	}
+	return 1e-9
+}
+
+// serialOp is the trusted reference operator: the plain serial CSR product,
+// the same arithmetic Check's reference path uses.
+type serialOp[T matrix.Float] struct{ m *matrix.CSR[T] }
+
+func (o serialOp[T]) MulVec(x, y []T) {
+	m := o.m
+	for r := 0; r < m.Rows; r++ {
+		var s T
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			s += m.Vals[jj] * x[m.ColIdx[jj]]
+		}
+		y[r] = s
+	}
+}
+
+func (o serialOp[T]) MulVecBatch(xb, yb []T, k int) {
+	m := o.m
+	for r := 0; r < m.Rows; r++ {
+		base := r * k
+		for j := 0; j < k; j++ {
+			yb[base+j] = 0
+		}
+		for jj := m.RowPtr[r]; jj < m.RowPtr[r+1]; jj++ {
+			c, v := m.ColIdx[jj], m.Vals[jj]
+			for j := 0; j < k; j++ {
+				yb[base+j] += v * xb[c*k+j]
+			}
+		}
+	}
+}
+
+// CheckSolvers runs the residual-checked differential solver suite: every
+// solver in internal/solve driven by a tuned operator (tuned with an
+// iteration hint, the long-solve path) against the same solve driven by
+// the trusted serial CSR reference, at every thread count in opt.Threads.
+//
+// A solver run only counts if it converges, and no solver is trusted to
+// grade itself: every solution — tuned or reference, single or block — is
+// re-checked by recomputing ‖b − A·x‖₂/‖b‖₂ from scratch in float64. The
+// tuned and reference solutions must also agree to the conditioning-scaled
+// bound, so a tuned kernel that converged to the wrong answer cannot hide
+// behind its own residual.
+func CheckSolvers[T matrix.Float](opt Options) error {
+	opt = opt.withDefaults()
+	tol := solveTolOf[T]()
+
+	// SPD system with a known generator: 2D 5-point Laplacian.
+	a := gen.Laplacian2D5pt[T](20, 20)
+	n := a.Rows
+	b := make([]T, n)
+	g := lcg{s: 40}
+	for i := range b {
+		b[i] = T(val(g.intn(16)))
+	}
+
+	// Nonsymmetric convection-diffusion chain for BiCGSTAB.
+	ns := convectionDiffusion[T](250)
+	bns := make([]T, ns.Rows)
+	for i := range bns {
+		bns[i] = T(val(g.intn(16)))
+	}
+
+	for _, th := range opt.Threads {
+		if err := checkSolversAtThreads(a, ns, b, bns, th, tol, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkSolversAtThreads[T matrix.Float](a, ns *matrix.CSR[T], b, bns []T, th int, tol float64, opt Options) error {
+	const maxIter = 4000
+	model := &autotune.Model{
+		Threads:             th,
+		ConfidenceThreshold: 0.5,
+		MaxFill:             opt.MaxFill,
+		Kernels:             map[string]string{},
+		Ruleset:             &mining.Ruleset{Default: int(matrix.FormatCSR)},
+	}
+	tuner := autotune.New[T](model, autotune.Config{Threads: th})
+	defer tuner.Close()
+	// The iteration hint is the long-solve contract: solvers announce their
+	// budget so the tuner may amortize a conversion across it.
+	op, _, err := tuner.TuneOpts(a, autotune.TuneOptions{Iterations: maxIter})
+	if err != nil {
+		return fmt.Errorf("oracle: solvers at %d threads: tune: %w", th, err)
+	}
+	opNS, _, err := tuner.TuneOpts(ns, autotune.TuneOptions{Iterations: maxIter})
+	if err != nil {
+		return fmt.Errorf("oracle: solvers at %d threads: tune nonsymmetric: %w", th, err)
+	}
+
+	// CG: tuned vs reference.
+	xT := make([]T, len(b))
+	xR := make([]T, len(b))
+	st, err := solve.CG[T](op, nil, b, xT, tol, maxIter)
+	if err != nil || !st.Converged {
+		return fmt.Errorf("oracle: solvers at %d threads: tuned CG stats %+v err %v", th, st, err)
+	}
+	sr, err := solve.CG[T](serialOp[T]{a}, nil, b, xR, tol, maxIter)
+	if err != nil || !sr.Converged {
+		return fmt.Errorf("oracle: solvers at %d threads: reference CG stats %+v err %v", th, sr, err)
+	}
+	if err := residualCheck(a, b, xT, tol, "tuned CG", th); err != nil {
+		return err
+	}
+	if err := residualCheck(a, b, xR, tol, "reference CG", th); err != nil {
+		return err
+	}
+	if err := solutionsAgree(xT, xR, tol, "CG", th); err != nil {
+		return err
+	}
+
+	// BiCGSTAB on the nonsymmetric system: tuned vs reference.
+	yT := make([]T, len(bns))
+	yR := make([]T, len(bns))
+	st, err = solve.BiCGSTAB[T](opNS, nil, bns, yT, tol, maxIter)
+	if err != nil || !st.Converged {
+		return fmt.Errorf("oracle: solvers at %d threads: tuned BiCGSTAB stats %+v err %v", th, st, err)
+	}
+	sr, err = solve.BiCGSTAB[T](serialOp[T]{ns}, nil, bns, yR, tol, maxIter)
+	if err != nil || !sr.Converged {
+		return fmt.Errorf("oracle: solvers at %d threads: reference BiCGSTAB stats %+v err %v", th, sr, err)
+	}
+	if err := residualCheck(ns, bns, yT, tol, "tuned BiCGSTAB", th); err != nil {
+		return err
+	}
+	if err := residualCheck(ns, bns, yR, tol, "reference BiCGSTAB", th); err != nil {
+		return err
+	}
+	if err := solutionsAgree(yT, yR, tol, "BiCGSTAB", th); err != nil {
+		return err
+	}
+
+	// Block CG through the tuned batched path vs k independent reference
+	// CG solves, column by column.
+	const k = 4
+	n := len(b)
+	bb := make([]T, n*k)
+	g := lcg{s: 77}
+	for i := range bb {
+		bb[i] = T(val(g.intn(16)))
+	}
+	xb := make([]T, n*k)
+	bst, err := solve.BlockCG[T](op, bb, xb, k, tol, maxIter)
+	if err != nil || !bst.Converged {
+		return fmt.Errorf("oracle: solvers at %d threads: tuned BlockCG stats %+v err %v", th, bst, err)
+	}
+	col := make([]T, n)
+	bcol := make([]T, n)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			bcol[i] = bb[i*k+j]
+		}
+		clear(col)
+		sr, err := solve.CG[T](serialOp[T]{a}, nil, bcol, col, tol, maxIter)
+		if err != nil || !sr.Converged {
+			return fmt.Errorf("oracle: solvers at %d threads: BlockCG reference column %d stats %+v err %v", th, j, sr, err)
+		}
+		xcol := make([]T, n)
+		for i := 0; i < n; i++ {
+			xcol[i] = xb[i*k+j]
+		}
+		if err := residualCheck(a, bcol, xcol, tol, fmt.Sprintf("tuned BlockCG column %d", j), th); err != nil {
+			return err
+		}
+		if err := solutionsAgree(xcol, col, tol, fmt.Sprintf("BlockCG column %d", j), th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// residualCheck recomputes ‖b − A·x‖₂/‖b‖₂ from scratch in float64 — no
+// solver state, no tuned kernel — and requires it within a small slack of
+// the requested tolerance (the float64 recomputation of a T-precision
+// residual can sit slightly above it).
+func residualCheck[T matrix.Float](a *matrix.CSR[T], b, x []T, tol float64, what string, th int) error {
+	var res, nb float64
+	for r := 0; r < a.Rows; r++ {
+		var s float64
+		for jj := a.RowPtr[r]; jj < a.RowPtr[r+1]; jj++ {
+			s += float64(a.Vals[jj]) * float64(x[a.ColIdx[jj]])
+		}
+		d := float64(b[r]) - s
+		res += d * d
+		nb += float64(b[r]) * float64(b[r])
+	}
+	rel := math.Sqrt(res) / math.Sqrt(nb)
+	if rel > 4*tol {
+		return fmt.Errorf("oracle: solvers at %d threads: %s: independent residual %g exceeds 4·tol %g", th, what, rel, 4*tol)
+	}
+	return nil
+}
+
+// solutionsAgree bounds the tuned-vs-reference solution gap: both residuals
+// are ≤ tol, so the solutions may differ by at most the conditioning
+// amplification, generously bounded here relative to the solution scale.
+func solutionsAgree[T matrix.Float](got, want []T, tol float64, what string, th int) error {
+	var d2, w2 float64
+	for i := range got {
+		d := float64(got[i]) - float64(want[i])
+		d2 += d * d
+		w2 += float64(want[i]) * float64(want[i])
+	}
+	if math.Sqrt(d2) > 1e4*tol*(1+math.Sqrt(w2)) {
+		return fmt.Errorf("oracle: solvers at %d threads: %s: tuned and reference solutions differ by %g (scale %g)",
+			th, what, math.Sqrt(d2), math.Sqrt(w2))
+	}
+	return nil
+}
+
+// convectionDiffusion builds the nonsymmetric 1D convection-diffusion
+// operator the BiCGSTAB differential runs on.
+func convectionDiffusion[T matrix.Float](n int) *matrix.CSR[T] {
+	var ts []matrix.Triple[T]
+	for i := 0; i < n; i++ {
+		ts = append(ts, matrix.Triple[T]{Row: i, Col: i, Val: 2.5})
+		if i > 0 {
+			ts = append(ts, matrix.Triple[T]{Row: i, Col: i - 1, Val: -1.4})
+		}
+		if i+1 < n {
+			ts = append(ts, matrix.Triple[T]{Row: i, Col: i + 1, Val: -0.6})
+		}
+	}
+	m, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		panic(err) // structurally impossible: indices are in range by construction
+	}
+	return m
+}

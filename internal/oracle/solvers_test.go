@@ -1,0 +1,42 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// TestSpGEMMDifferential walks the adversarial structure suite through the
+// row-blocked SpGEMM and fused Galerkin product checks: bit-for-bit vs
+// matrix.Mul, bit-for-bit serial vs pooled, and the fused product's
+// rounding bound vs the float64 two-pass reference.
+func TestSpGEMMDifferential(t *testing.T) {
+	opt := Options{}
+	if testing.Short() {
+		opt.Threads = []int{2, 3}
+	}
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if err := CheckSpGEMM[float64](&s, opt); err != nil {
+				t.Error(err)
+			}
+			if err := CheckSpGEMM[float32](&s, opt); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSolversDifferential runs the residual-checked tuned-vs-reference
+// solver suite for both element types.
+func TestSolversDifferential(t *testing.T) {
+	opt := Options{}
+	if testing.Short() {
+		opt.Threads = []int{2}
+	}
+	if err := CheckSolvers[float64](opt); err != nil {
+		t.Error(err)
+	}
+	if err := CheckSolvers[float32](opt); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+
+	"smat/internal/matrix"
+)
+
+// BiCGSTAB solves the (possibly nonsymmetric) system A·x = b with the
+// stabilised bi-conjugate gradient method, refining x in place. m may be
+// nil. Convergence is ‖r‖₂/‖b‖₂ ≤ tol; the half-step residual s is also
+// checked, so a solve can finish mid-iteration. A zero b short-circuits to
+// x = 0; maxIter = 0 evaluates the initial guess only.
+//
+// Breakdown — ρ = ⟨r̂₀, r⟩ vanished, ⟨r̂₀, A·p̂⟩ vanished, or ω's
+// denominator ⟨t, t⟩ = 0 while the residual is still above tolerance —
+// returns the stats so far and an error wrapping ErrBreakdown.
+func BiCGSTAB[T matrix.Float](a Operator[T], m Preconditioner[T], b, x []T, tol float64, maxIter int) (Stats, error) {
+	n := len(b)
+	if len(x) != n {
+		return Stats{}, fmt.Errorf("solve: BiCGSTAB size mismatch: len(b)=%d len(x)=%d", n, len(x))
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		clear(x)
+		return Stats{Converged: true}, nil
+	}
+
+	r := make([]T, n)
+	rhat := make([]T, n)
+	p := make([]T, n)
+	v := make([]T, n)
+	s := make([]T, n)
+	t := make([]T, n)
+	phat := make([]T, n) // preconditioned direction (aliases p when m == nil)
+	shat := make([]T, n)
+
+	// r = b − A·x; r̂₀ = r.
+	a.MulVec(x, v)
+	residual(b, v, r)
+	copy(rhat, r)
+	clear(v)
+	copy(p, r)
+	rho := Dot(rhat, r)
+
+	var stats Stats
+	for stats.Iterations = 0; stats.Iterations < maxIter; stats.Iterations++ {
+		stats.RelResidual = Norm2(r) / normB
+		if stats.RelResidual <= tol {
+			stats.Converged = true
+			return stats, nil
+		}
+		if rho == 0 || math.IsNaN(rho) {
+			return stats, fmt.Errorf("%w: ρ = %g at iteration %d", ErrBreakdown, rho, stats.Iterations)
+		}
+		ph := applyPrec(m, p, phat)
+		a.MulVec(ph, v)
+		rv := Dot(rhat, v)
+		if rv == 0 || math.IsNaN(rv) {
+			return stats, fmt.Errorf("%w: ⟨r̂₀, A·p̂⟩ = %g at iteration %d", ErrBreakdown, rv, stats.Iterations)
+		}
+		alpha := rho / rv
+		// s = r − α·v.
+		copy(s, r)
+		axpy(T(-alpha), v, s)
+		if rel := Norm2(s) / normB; rel <= tol {
+			axpy(T(alpha), ph, x)
+			stats.Iterations++
+			stats.RelResidual = rel
+			stats.Converged = true
+			return stats, nil
+		}
+		sh := applyPrec(m, s, shat)
+		a.MulVec(sh, t)
+		tt := Dot(t, t)
+		if tt == 0 || math.IsNaN(tt) {
+			return stats, fmt.Errorf("%w: ⟨t, t⟩ = %g at iteration %d", ErrBreakdown, tt, stats.Iterations)
+		}
+		omega := Dot(t, s) / tt
+		if omega == 0 || math.IsNaN(omega) {
+			return stats, fmt.Errorf("%w: ω = %g at iteration %d", ErrBreakdown, omega, stats.Iterations)
+		}
+		axpy(T(alpha), ph, x)
+		axpy(T(omega), sh, x)
+		// r = s − ω·t.
+		copy(r, s)
+		axpy(T(-omega), t, r)
+		rhoNew := Dot(rhat, r)
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		// p = r + β·(p − ω·v).
+		axpy(T(-omega), v, p)
+		xpay(r, T(beta), p)
+	}
+	stats.RelResidual = Norm2(r) / normB
+	stats.Converged = stats.RelResidual <= tol
+	return stats, nil
+}

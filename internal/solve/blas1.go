@@ -1,0 +1,152 @@
+package solve
+
+import (
+	"math"
+
+	"smat/internal/matrix"
+)
+
+// Level-1 kernels shared by the solvers and internal/amg. Inner products
+// accumulate in float64 across four independent partial sums: the unrolled
+// lanes break the loop-carried dependence on the accumulator, and the
+// float64 carry keeps float32 solves from losing the residual's low bits.
+// These run once or twice per solver iteration on full-length vectors, so
+// they are annotated hot and kept allocation-free.
+
+// Dot returns ⟨a, b⟩ accumulated in float64. The slices must have equal
+// length.
+//
+//smat:hotpath
+func Dot[T matrix.Float](a, b []T) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Norm2 returns ‖v‖₂ accumulated in float64.
+//
+//smat:hotpath
+func Norm2[T matrix.Float](v []T) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// dotStrided returns ⟨a·ⱼ, b·ⱼ⟩ over column j of two interleaved k-wide
+// block vectors (the MulVecBatch layout: element i of column j lives at
+// index i*k+j).
+//
+//smat:hotpath
+func dotStrided[T matrix.Float](a, b []T, k, j int) float64 {
+	var s0, s1 float64
+	i := j
+	for ; i+k < len(a); i += 2 * k {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+k]) * float64(b[i+k])
+	}
+	if i < len(a) {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return s0 + s1
+}
+
+// blockDots accumulates all k per-column dot products of two interleaved
+// k-wide block vectors in one pass: out[j] = ⟨a·ⱼ, b·ⱼ⟩. In the
+// interleaved layout every cache line holds one element of every column,
+// so k separate strided dots would each traverse the entire block — k×
+// the memory traffic of this single sweep. For the block solvers these
+// reductions are the dominant non-SpMM cost, so the sweep is what keeps
+// the batched path's SpMM advantage visible end to end.
+//
+//smat:hotpath
+func blockDots[T matrix.Float](a, b []T, k int, out []float64) {
+	if k == 8 {
+		blockDots8(a, b, out)
+		return
+	}
+	for j := 0; j < k; j++ {
+		out[j] = 0
+	}
+	b = b[:len(a)]
+	for i := 0; i+k <= len(a); i += k {
+		for j := 0; j < k; j++ {
+			out[j] += float64(a[i+j]) * float64(b[i+j])
+		}
+	}
+}
+
+// blockDots8 is blockDots at the register-tile width k = 8: eight scalar
+// accumulators stay in registers across the sweep instead of round-tripping
+// through out[j] on every element. Per-column accumulation order is
+// identical to the generic loop, so the results are bit-for-bit the same.
+//
+//smat:hotpath
+func blockDots8[T matrix.Float](a, b []T, out []float64) {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	b = b[:len(a)]
+	for i := 0; i+8 <= len(a); i += 8 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+		s4 += float64(a[i+4]) * float64(b[i+4])
+		s5 += float64(a[i+5]) * float64(b[i+5])
+		s6 += float64(a[i+6]) * float64(b[i+6])
+		s7 += float64(a[i+7]) * float64(b[i+7])
+	}
+	out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+	out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+}
+
+// axpy computes y += α·x elementwise in T precision.
+//
+//smat:hotpath
+func axpy[T matrix.Float](alpha T, x, y []T) {
+	y = y[:len(x)]
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// xpay computes p = z + β·p elementwise in T precision (the CG direction
+// update).
+//
+//smat:hotpath
+func xpay[T matrix.Float](z []T, beta T, p []T) {
+	p = p[:len(z)]
+	for i := range z {
+		p[i] = z[i] + beta*p[i]
+	}
+}
+
+// cgUpdate fuses the CG solution and residual updates: x += α·p,
+// r −= α·ap. One pass over four vectors instead of two over two.
+//
+//smat:hotpath
+func cgUpdate[T matrix.Float](alpha T, p, ap, x, r []T) {
+	n := len(x)
+	p, ap, r = p[:n], ap[:n], r[:n]
+	for i := 0; i < n; i++ {
+		x[i] += alpha * p[i]
+		r[i] -= alpha * ap[i]
+	}
+}
+
+// residual computes r = b − w elementwise (w holding A·x).
+//
+//smat:hotpath
+func residual[T matrix.Float](b, w, r []T) {
+	n := len(r)
+	b, w = b[:n], w[:n]
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - w[i]
+	}
+}

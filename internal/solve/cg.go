@@ -1,0 +1,91 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+
+	"smat/internal/matrix"
+)
+
+// CGScratch is the reusable CG workspace: four n-vectors. A zero value is
+// ready to use; reserve grows it on demand, so one scratch amortises across
+// repeated solves of same-sized systems (the AMG hierarchy keeps one per
+// hierarchy, making steady-state PCG allocation-free).
+type CGScratch[T matrix.Float] struct {
+	r, z, p, ap []T
+}
+
+func (w *CGScratch[T]) reserve(n int) {
+	if cap(w.r) < n {
+		w.r = make([]T, n)
+		w.z = make([]T, n)
+		w.p = make([]T, n)
+		w.ap = make([]T, n)
+	}
+	w.r, w.z, w.p, w.ap = w.r[:n], w.z[:n], w.p[:n], w.ap[:n]
+}
+
+// CG solves the symmetric positive-definite system A·x = b with
+// (optionally preconditioned) conjugate gradients, refining x in place
+// from its current value. m may be nil for plain CG. Convergence is
+// ‖b − A·x‖₂/‖b‖₂ ≤ tol, checked before each iteration; maxIter = 0 thus
+// evaluates the initial guess and returns without touching the operator's
+// Krylov space. A zero b short-circuits to x = 0.
+//
+// On breakdown — pᵀAp ≤ 0 (A not positive definite along the search
+// direction), a vanished or NaN ρ — CG returns the stats so far and an
+// error wrapping ErrBreakdown rather than iterating on poisoned vectors.
+func CG[T matrix.Float](a Operator[T], m Preconditioner[T], b, x []T, tol float64, maxIter int) (Stats, error) {
+	var ws CGScratch[T]
+	return CGWith(&ws, a, m, b, x, tol, maxIter)
+}
+
+// CGWith is CG over a caller-held scratch, for allocation-free repeated
+// solves.
+func CGWith[T matrix.Float](ws *CGScratch[T], a Operator[T], m Preconditioner[T], b, x []T, tol float64, maxIter int) (Stats, error) {
+	n := len(b)
+	if len(x) != n {
+		return Stats{}, fmt.Errorf("solve: CG size mismatch: len(b)=%d len(x)=%d", n, len(x))
+	}
+	ws.reserve(n)
+	r, p, ap := ws.r, ws.p, ws.ap
+
+	normB := Norm2(b)
+	if normB == 0 {
+		clear(x)
+		return Stats{Converged: true}, nil
+	}
+	// r = b − A·x.
+	a.MulVec(x, ap)
+	residual(b, ap, r)
+	z := applyPrec(m, r, ws.z)
+	copy(p, z)
+	rz := Dot(r, z)
+
+	var stats Stats
+	for stats.Iterations = 0; stats.Iterations < maxIter; stats.Iterations++ {
+		stats.RelResidual = Norm2(r) / normB
+		if stats.RelResidual <= tol {
+			stats.Converged = true
+			return stats, nil
+		}
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if !(pap > 0) { // catches ≤ 0 and NaN
+			return stats, fmt.Errorf("%w: pᵀAp = %g at iteration %d (operator not positive definite)", ErrBreakdown, pap, stats.Iterations)
+		}
+		alpha := rz / pap
+		cgUpdate(T(alpha), p, ap, x, r)
+		z = applyPrec(m, r, ws.z)
+		rzNew := Dot(r, z)
+		if math.IsNaN(rzNew) {
+			return stats, fmt.Errorf("%w: ρ is NaN at iteration %d", ErrBreakdown, stats.Iterations)
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		xpay(z, T(beta), p)
+	}
+	stats.RelResidual = Norm2(r) / normB
+	stats.Converged = stats.RelResidual <= tol
+	return stats, nil
+}

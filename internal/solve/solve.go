@@ -1,0 +1,71 @@
+// Package solve implements Krylov subspace solvers — conjugate gradients,
+// BiCGSTAB, and a multi-RHS block CG — over any SpMV operator.
+//
+// The solvers are deliberately operator-agnostic: anything with
+// MulVec(x, y) drives them, so the same code runs over a plain CSR product,
+// an AMG level operator, or the tuned smat Operator. The block variant
+// additionally wants MulVecBatch, the interleaved multi-RHS product, so
+// every iteration's k SpMVs collapse into one register-tiled SpMM pass.
+// This is where the auto-tuner's per-matrix format and kernel choices
+// compound: an iterative solve multiplies one matrix hundreds of times, so
+// a few percent per SpMV — or 2-3× per vector on the batched path — is the
+// difference the paper's Figure 11 measures on end-to-end workloads.
+//
+// All inner products accumulate in float64 regardless of the element type,
+// and every solver detects breakdown (an indefinite or singular operator,
+// NaN poisoning) and returns ErrBreakdown instead of iterating on garbage.
+package solve
+
+import (
+	"errors"
+
+	"smat/internal/matrix"
+)
+
+// Operator is the minimal SpMV contract the solvers iterate:
+// y = A·x. It is satisfied by *smat.Operator, *autotune.Operator, the AMG
+// level operators, and any fixed-format reference product.
+type Operator[T matrix.Float] interface {
+	MulVec(x, y []T)
+}
+
+// BatchOperator computes Y = A·X for k interleaved right-hand sides:
+// column c of X occupies xb[c*k : (c+1)*k] and row r of Y occupies
+// yb[r*k : (r+1)*k]. *smat.Operator and *autotune.Operator satisfy it with
+// their register-tiled SpMM path.
+type BatchOperator[T matrix.Float] interface {
+	MulVecBatch(xb, yb []T, k int)
+}
+
+// Preconditioner applies z ≈ A⁻¹ r. The AMG hierarchy satisfies it with
+// one V-cycle from a zero guess.
+type Preconditioner[T matrix.Float] interface {
+	Apply(r, z []T)
+}
+
+// ErrBreakdown reports that a Krylov recurrence lost its footing: a
+// curvature pᵀAp ≤ 0 (the operator is not positive definite along the
+// search direction), a vanished ρ or ω in BiCGSTAB, or NaN contamination.
+// Solvers return it wrapped with the iteration context instead of
+// NaN-looping to maxIter.
+var ErrBreakdown = errors.New("solve: krylov breakdown")
+
+// Stats reports a solver run. Iterations counts completed iterations (an
+// immediately converged system reports zero), RelResidual is
+// ‖b − A·x‖₂ / ‖b‖₂ at exit.
+type Stats struct {
+	Iterations  int
+	RelResidual float64
+	Converged   bool
+}
+
+// applyPrec routes through the preconditioner, with z aliasing r for the
+// unpreconditioned case (callers treat z as read-only between applications,
+// so the alias is safe and skips a copy).
+func applyPrec[T matrix.Float](m Preconditioner[T], r, z []T) []T {
+	if m == nil {
+		return r
+	}
+	m.Apply(r, z)
+	return z
+}

@@ -1,0 +1,426 @@
+package solve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"smat/internal/gen"
+	"smat/internal/matrix"
+)
+
+// csrOp is a plain serial CSR operator: the reference Operator /
+// BatchOperator for the solver tests.
+type csrOp struct{ a *matrix.CSR[float64] }
+
+func (o csrOp) MulVec(x, y []float64) {
+	a := o.a
+	for r := 0; r < a.Rows; r++ {
+		var s float64
+		for jj := a.RowPtr[r]; jj < a.RowPtr[r+1]; jj++ {
+			s += a.Vals[jj] * x[a.ColIdx[jj]]
+		}
+		y[r] = s
+	}
+}
+
+func (o csrOp) MulVecBatch(xb, yb []float64, k int) {
+	a := o.a
+	for r := 0; r < a.Rows; r++ {
+		base := r * k
+		for j := 0; j < k; j++ {
+			yb[base+j] = 0
+		}
+		for jj := a.RowPtr[r]; jj < a.RowPtr[r+1]; jj++ {
+			c, v := a.ColIdx[jj], a.Vals[jj]
+			for j := 0; j < k; j++ {
+				yb[base+j] += v * xb[c*k+j]
+			}
+		}
+	}
+}
+
+// diagPrec is a Jacobi (diagonal) preconditioner.
+type diagPrec struct{ d []float64 }
+
+func (p diagPrec) Apply(r, z []float64) {
+	for i := range r {
+		z[i] = r[i] / p.d[i]
+	}
+}
+
+func spdSystem(t *testing.T, nx int, seed int64) (*matrix.CSR[float64], []float64, []float64) {
+	t.Helper()
+	a := gen.Laplacian2D5pt[float64](nx, nx)
+	rng := rand.New(rand.NewSource(seed))
+	want := make([]float64, a.Rows)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.Rows)
+	csrOp{a}.MulVec(want, b)
+	return a, b, want
+}
+
+func TestCGConvergesOnSPD(t *testing.T) {
+	a, b, want := spdSystem(t, 16, 3)
+	x := make([]float64, a.Rows)
+	stats, err := CG[float64](csrOp{a}, nil, b, x, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("CG did not converge: %+v", stats)
+	}
+	if !matrix.VecApproxEqual(x, want, 1e-6) {
+		t.Error("CG solution wrong")
+	}
+}
+
+func TestCGPreconditionedConverges(t *testing.T) {
+	// Badly scaled SPD diagonal-dominant system: Jacobi preconditioning
+	// must not hurt and the solution must still be right.
+	n := 400
+	var ts []matrix.Triple[float64]
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: i, Val: math.Pow(10, 4*rng.Float64())})
+		if i+1 < n {
+			ts = append(ts, matrix.Triple[float64]{Row: i, Col: i + 1, Val: -0.1})
+			ts = append(ts, matrix.Triple[float64]{Row: i + 1, Col: i, Val: -0.1})
+		}
+	}
+	a, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	csrOp{a}.MulVec(want, b)
+
+	xp := make([]float64, n)
+	pre, err := CG[float64](csrOp{a}, diagPrec{a.Diagonal()}, b, xp, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged {
+		t.Fatalf("preconditioned CG did not converge: %+v", pre)
+	}
+	if !matrix.VecApproxEqual(xp, want, 1e-6) {
+		t.Error("preconditioned CG solution wrong")
+	}
+	xc := make([]float64, n)
+	plain, err := CG[float64](csrOp{a}, nil, b, xc, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Converged && plain.Iterations < pre.Iterations {
+		t.Errorf("Jacobi preconditioning hurt on a badly scaled system: %d vs %d iterations",
+			pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := gen.Laplacian2D5pt[float64](5, 5)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	stats, err := CG[float64](csrOp{a}, nil, make([]float64, a.Rows), x, 1e-12, 50)
+	if err != nil || !stats.Converged || stats.Iterations != 0 {
+		t.Fatalf("zero RHS: stats=%+v err=%v", stats, err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("x not zeroed on zero RHS")
+		}
+	}
+}
+
+func TestCGIndefiniteBreakdown(t *testing.T) {
+	a, err := matrix.FromTriples(2, 2, []matrix.Triple[float64]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	stats, err := CG[float64](csrOp{a}, nil, []float64{0, 1}, x, 1e-12, 100)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("indefinite system: err=%v, want ErrBreakdown", err)
+	}
+	if stats.Converged {
+		t.Error("indefinite system reported converged")
+	}
+	for _, v := range x {
+		if math.IsNaN(v) {
+			t.Fatal("breakdown left NaN in x")
+		}
+	}
+}
+
+func TestCGSingularBreakdown(t *testing.T) {
+	// Semidefinite A = diag(1, 0) with b outside the range: p ends up in
+	// the null space, pᵀAp = 0, and CG must error out, not NaN-loop.
+	a, err := matrix.FromTriples(2, 2, []matrix.Triple[float64]{
+		{Row: 0, Col: 0, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	_, err = CG[float64](csrOp{a}, nil, []float64{0, 1}, x, 1e-12, 100)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("singular system: err=%v, want ErrBreakdown", err)
+	}
+}
+
+func TestCGMaxIterZero(t *testing.T) {
+	a, b, _ := spdSystem(t, 8, 7)
+	x := make([]float64, a.Rows)
+	stats, err := CG[float64](csrOp{a}, nil, b, x, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations != 0 || stats.Converged {
+		t.Fatalf("maxIter=0: stats=%+v", stats)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("maxIter=0 moved x")
+		}
+	}
+}
+
+func TestCG1x1(t *testing.T) {
+	a, err := matrix.FromTriples(1, 1, []matrix.Triple[float64]{{Row: 0, Col: 0, Val: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0}
+	stats, err := CG[float64](csrOp{a}, nil, []float64{8}, x, 1e-14, 10)
+	if err != nil || !stats.Converged {
+		t.Fatalf("1x1: stats=%+v err=%v", stats, err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 {
+		t.Fatalf("1x1: x=%g want 2", x[0])
+	}
+}
+
+func nonsymSystem(t *testing.T, n int) (*matrix.CSR[float64], []float64, []float64) {
+	t.Helper()
+	// 1D convection-diffusion: diffusion keeps it well conditioned, the
+	// upwind convection term makes it genuinely nonsymmetric.
+	var ts []matrix.Triple[float64]
+	for i := 0; i < n; i++ {
+		ts = append(ts, matrix.Triple[float64]{Row: i, Col: i, Val: 2.5})
+		if i > 0 {
+			ts = append(ts, matrix.Triple[float64]{Row: i, Col: i - 1, Val: -1.4})
+		}
+		if i+1 < n {
+			ts = append(ts, matrix.Triple[float64]{Row: i, Col: i + 1, Val: -0.6})
+		}
+	}
+	a, err := matrix.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	csrOp{a}.MulVec(want, b)
+	return a, b, want
+}
+
+func TestBiCGSTABConvergesOnNonsymmetric(t *testing.T) {
+	a, b, want := nonsymSystem(t, 300)
+	x := make([]float64, a.Rows)
+	stats, err := BiCGSTAB[float64](csrOp{a}, nil, b, x, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("BiCGSTAB did not converge: %+v", stats)
+	}
+	if !matrix.VecApproxEqual(x, want, 1e-6) {
+		t.Error("BiCGSTAB solution wrong")
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	a, _, _ := nonsymSystem(t, 20)
+	x := make([]float64, a.Rows)
+	x[3] = 5
+	stats, err := BiCGSTAB[float64](csrOp{a}, nil, make([]float64, a.Rows), x, 1e-12, 10)
+	if err != nil || !stats.Converged {
+		t.Fatalf("zero RHS: stats=%+v err=%v", stats, err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("x not zeroed on zero RHS")
+		}
+	}
+}
+
+func TestBiCGSTABBreakdownOnSingular(t *testing.T) {
+	// The zero matrix: A·p = 0 makes ⟨r̂₀, A·p̂⟩ vanish immediately.
+	a, err := matrix.FromTriples[float64](3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3)
+	_, err = BiCGSTAB[float64](csrOp{a}, nil, []float64{1, 2, 3}, x, 1e-12, 50)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("singular: err=%v, want ErrBreakdown", err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) {
+			t.Fatal("breakdown left NaN in x")
+		}
+	}
+}
+
+func TestBiCGSTABMaxIterZero(t *testing.T) {
+	a, b, _ := nonsymSystem(t, 30)
+	x := make([]float64, a.Rows)
+	stats, err := BiCGSTAB[float64](csrOp{a}, nil, b, x, 1e-12, 0)
+	if err != nil || stats.Iterations != 0 || stats.Converged {
+		t.Fatalf("maxIter=0: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestBlockCGMatchesSingleCG(t *testing.T) {
+	a, _, _ := spdSystem(t, 12, 13)
+	n := a.Rows
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range []int{1, 3, 8} {
+		bb := make([]float64, n*k)
+		for i := range bb {
+			bb[i] = rng.NormFloat64()
+		}
+		xb := make([]float64, n*k)
+		stats, err := BlockCG[float64](csrOp{a}, bb, xb, k, 1e-10, 2000)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !stats.Converged {
+			t.Fatalf("k=%d: block CG did not converge: %+v", k, stats)
+		}
+		// Each column must match an independent single-RHS CG solve.
+		for j := 0; j < k; j++ {
+			b1 := make([]float64, n)
+			x1 := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b1[i] = bb[i*k+j]
+			}
+			if _, err := CG[float64](csrOp{a}, nil, b1, x1, 1e-10, 2000); err != nil {
+				t.Fatalf("k=%d col %d reference: %v", k, j, err)
+			}
+			for i := 0; i < n; i++ {
+				if d := x1[i] - xb[i*k+j]; math.Abs(d) > 1e-7 {
+					t.Fatalf("k=%d col %d row %d: block %g vs single %g", k, j, i, xb[i*k+j], x1[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockCGZeroColumn(t *testing.T) {
+	a, _, _ := spdSystem(t, 8, 19)
+	n := a.Rows
+	k := 3
+	rng := rand.New(rand.NewSource(23))
+	bb := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		bb[i*k] = rng.NormFloat64() // column 0 live
+		// column 1 zero
+		bb[i*k+2] = rng.NormFloat64() // column 2 live
+	}
+	xb := make([]float64, n*k)
+	for i := range xb {
+		xb[i] = 1 // nonzero initial guess everywhere
+	}
+	stats, err := BlockCG[float64](csrOp{a}, bb, xb, k, 1e-10, 2000)
+	if err != nil || !stats.Converged {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	for i := 0; i < n; i++ {
+		if xb[i*k+1] != 0 {
+			t.Fatal("zero-RHS column not zeroed")
+		}
+	}
+	if stats.RelResidual[1] != 0 {
+		t.Errorf("zero column residual = %g", stats.RelResidual[1])
+	}
+}
+
+func TestBlockCGBreakdownOnIndefinite(t *testing.T) {
+	a, err := matrix.FromTriples(2, 2, []matrix.Triple[float64]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2
+	bb := []float64{1, 0, 0, 1} // RHS 0 = e0 (fine), RHS 1 = e1 (hits the -1 mode)
+	xb := make([]float64, 2*k)
+	_, err = BlockCG[float64](csrOp{a}, bb, xb, k, 1e-12, 100)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("indefinite: err=%v, want ErrBreakdown", err)
+	}
+}
+
+func TestBlockCGRejectsBadShape(t *testing.T) {
+	a, _, _ := spdSystem(t, 4, 29)
+	if _, err := BlockCG[float64](csrOp{a}, make([]float64, 10), make([]float64, 10), 0, 1e-10, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := BlockCG[float64](csrOp{a}, make([]float64, 10), make([]float64, 8), 2, 1e-10, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := BlockCG[float64](csrOp{a}, make([]float64, 9), make([]float64, 9), 2, 1e-10, 10); err == nil {
+		t.Error("length not divisible by k accepted")
+	}
+}
+
+func TestBlockCGMaxIterZero(t *testing.T) {
+	a, b, _ := spdSystem(t, 6, 31)
+	n := a.Rows
+	xb := make([]float64, n)
+	stats, err := BlockCG[float64](csrOp{a}, b, xb, 1, 1e-12, 0)
+	if err != nil || stats.Iterations != 0 || stats.Converged {
+		t.Fatalf("maxIter=0: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 100, 1023} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		want := 0.0
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: Dot=%g naive=%g", n, got, want)
+		}
+		for j := 0; j < 3 && j < n; j++ {
+			wantS := 0.0
+			for i := j; i < n; i += 3 {
+				wantS += a[i] * b[i]
+			}
+			if got := dotStrided(a, b, 3, j); math.Abs(got-wantS) > 1e-9*(1+math.Abs(wantS)) {
+				t.Fatalf("n=%d j=%d: dotStrided=%g naive=%g", n, j, got, wantS)
+			}
+		}
+	}
+}
